@@ -1,0 +1,108 @@
+// Microbenchmarks of the low-rank kernels (§3 of the paper): SVD vs RRQR
+// compression cost, LR product, and the LR2LR extend-add recompression.
+// Also serves as the measured counterpart of the complexity Table 1.
+
+#include <benchmark/benchmark.h>
+
+#include "blr.hpp"
+#include "linalg/random.hpp"
+
+namespace {
+
+using namespace blr;
+
+la::DMatrix decaying_block(index_t m, index_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  return la::random_decaying<real_t>(m, n, 0.5, rng);
+}
+
+void BM_CompressRRQR(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const la::DMatrix a = decaying_block(m, m, 42);
+  for (auto _ : state) {
+    auto lr = lr::compress_rrqr(a.cview(), 1e-8, lr::beneficial_rank_limit(m, m));
+    benchmark::DoNotOptimize(lr);
+  }
+}
+BENCHMARK(BM_CompressRRQR)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.05);
+
+void BM_CompressSVD(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const la::DMatrix a = decaying_block(m, m, 42);
+  for (auto _ : state) {
+    auto lr = lr::compress_svd(a.cview(), 1e-8, lr::beneficial_rank_limit(m, m));
+    benchmark::DoNotOptimize(lr);
+  }
+}
+BENCHMARK(BM_CompressSVD)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.05);
+
+void BM_CompressRandomized(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const la::DMatrix a = decaying_block(m, m, 42);
+  for (auto _ : state) {
+    auto lr = lr::compress_randomized(a.cview(), 1e-8, lr::beneficial_rank_limit(m, m));
+    benchmark::DoNotOptimize(lr);
+  }
+}
+BENCHMARK(BM_CompressRandomized)->Arg(64)->Arg(128)->Arg(256)->MinTime(0.05);
+
+void BM_LrProduct(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Prng rng(7);
+  const la::DMatrix da = la::random_rank_k<real_t>(m, m, 16, rng);
+  const la::DMatrix db = la::random_rank_k<real_t>(m, m, 16, rng);
+  const lr::Block a = lr::compress_to_block(lr::CompressionKind::Rrqr, da.cview(), 1e-8);
+  const lr::Block b = lr::compress_to_block(lr::CompressionKind::Rrqr, db.cview(), 1e-8);
+  for (auto _ : state) {
+    auto p = lr::ab_t_product(a, b, lr::CompressionKind::Rrqr, 1e-8, true);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_LrProduct)->Arg(128)->Arg(256)->Arg(512)->MinTime(0.05);
+
+void BM_DenseGemmReference(benchmark::State& state) {
+  const index_t m = state.range(0);
+  Prng rng(7);
+  la::DMatrix a(m, m);
+  la::DMatrix b(m, m);
+  la::DMatrix c(m, m);
+  la::random_normal(a.view(), rng);
+  la::random_normal(b.view(), rng);
+  for (auto _ : state) {
+    la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.cview(), b.cview(),
+             real_t(1), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_DenseGemmReference)->Arg(128)->Arg(256)->Arg(512)->MinTime(0.05);
+
+void BM_Lr2LrExtendAdd(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const auto kind = state.range(1) == 0 ? lr::CompressionKind::Rrqr
+                                        : lr::CompressionKind::Svd;
+  Prng rng(11);
+  const la::DMatrix dc = la::random_rank_k<real_t>(m, m, 24, rng);
+  const la::DMatrix dp = la::random_rank_k<real_t>(m / 4, m / 4, 8, rng);
+  const lr::Block pb = lr::compress_to_block(kind, dp.cview(), 1e-8);
+  const lr::Block cb = lr::compress_to_block(kind, dc.cview(), 1e-8);
+  lr::Contribution p;
+  p.lowrank = true;
+  p.lr = pb.lr();
+  for (auto _ : state) {
+    // Re-installing the target's factors is two small copies — negligible
+    // next to the recompression being measured.
+    lr::Block c = lr::Block::make_lowrank(m, m, lr::LrMatrix(cb.lr()));
+    lr::lr2lr_add(c, p, m / 8, m / 8, kind, 1e-8);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Lr2LrExtendAdd)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->MinTime(0.05);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Example: low-accuracy BLR factorization as a preconditioner.
+//
+// The paper's second usage mode (§4.4): factorize once at a loose tolerance
+// (cheap, small memory), then use the factorization to precondition GMRES /
+// CG and recover machine precision in a few iterations. Here we compare the
+// behaviour on an easy SPD problem (Poisson) and a nonsymmetric
+// convection-dominated one, at two tolerances, mirroring Figure 8.
+
+#include <cstdio>
+
+#include "blr.hpp"
+
+using namespace blr;
+
+namespace {
+
+void study(const char* name, const sparse::CscMatrix& a, real_t tol) {
+  SolverOptions opts;
+  opts.strategy = Strategy::MinimalMemory;
+  opts.kind = lr::CompressionKind::Rrqr;
+  opts.tolerance = tol;
+  opts.threads = 2;
+  // Demo-scale problems: shrink the compressibility/split thresholds in
+  // proportion (paper defaults target ~1e6-unknown matrices).
+  opts.compress_min_width = 32;
+  opts.compress_min_height = 16;
+  opts.split.split_threshold = 128;
+  opts.split.split_size = 64;
+  Solver solver(opts);
+  solver.factorize(a);
+
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x(b.size());
+  solver.solve(b.data(), x.data());
+  const real_t direct_err = sparse::backward_error(a, x.data(), b.data());
+
+  RefinementOptions ropts;
+  ropts.max_iterations = 20;
+  ropts.target = 1e-12;
+  const RefinementResult res = solver.refine(a, b.data(), x.data(), ropts);
+
+  std::printf("%-14s tau=%.0e  %-5s  direct err %.1e -> %.1e after %lld iters"
+              " (factors %.1f MB of %.1f MB dense)\n",
+              name, tol, solver.is_llt() ? "CG" : "GMRES",
+              static_cast<double>(direct_err), res.final_error(),
+              static_cast<long long>(res.iterations),
+              static_cast<double>(solver.stats().factor_entries_final) * 8 / 1e6,
+              static_cast<double>(solver.stats().factor_entries_dense) * 8 / 1e6);
+}
+
+} // namespace
+
+int main() {
+  const auto poisson = sparse::laplacian_3d(18, 18, 18);
+  const auto convdiff = sparse::convection_diffusion_3d(14, 14, 14, 0.8);
+
+  std::printf("BLR factorization as a preconditioner (Minimal-Memory/RRQR)\n\n");
+  for (const real_t tol : {1e-4, 1e-8}) {
+    study("poisson18", poisson, tol);
+    study("convdiff14", convdiff, tol);
+  }
+  std::printf("\nLoose tolerances trade a few preconditioned iterations for a\n"
+              "smaller, cheaper factorization — the paper's Figure 8 trade-off.\n");
+  return 0;
+}

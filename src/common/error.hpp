@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <sstream>
+
+namespace blr {
+
+/// Exception thrown on precondition violations in the public API.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a numerical factorization breaks down (zero/tiny pivot,
+/// non-positive-definite matrix handed to Cholesky, ...).
+class NumericalError : public Error {
+public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BLR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace blr
+
+/// Precondition check that stays enabled in release builds. Use for public
+/// API argument validation; hot inner loops should use assert() instead.
+#define BLR_CHECK(expr, msg)                                                  \
+  do {                                                                        \
+    if (!(expr)) ::blr::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,61 @@
+#include "common/kernel_stats.hpp"
+
+#include <chrono>
+
+namespace blr {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace
+
+KernelStats& KernelStats::instance() {
+  static KernelStats stats;
+  return stats;
+}
+
+void KernelStats::add(Kernel k, std::uint64_t nanos) {
+  nanos_[static_cast<int>(k)].fetch_add(nanos, std::memory_order_relaxed);
+}
+
+double KernelStats::seconds(Kernel k) const {
+  return static_cast<double>(nanos_[static_cast<int>(k)].load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double KernelStats::total_seconds() const {
+  double s = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (i == static_cast<int>(Kernel::Solve)) continue;  // not part of facto total
+    s += static_cast<double>(nanos_[i].load(std::memory_order_relaxed)) * 1e-9;
+  }
+  return s;
+}
+
+void KernelStats::reset() {
+  for (auto& n : nanos_) n.store(0, std::memory_order_relaxed);
+}
+
+std::string KernelStats::kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::Compression: return "Compression";
+    case Kernel::BlockFactorization: return "Block factorization";
+    case Kernel::PanelSolve: return "Panel solve";
+    case Kernel::LrProduct: return "LR product";
+    case Kernel::LrAddition: return "LR addition";
+    case Kernel::DenseUpdate: return "Dense update";
+    case Kernel::Solve: return "Solve";
+    default: return "?";
+  }
+}
+
+KernelTimer::KernelTimer(Kernel k) : kernel_(k), start_ns_(now_ns()) {}
+
+KernelTimer::~KernelTimer() {
+  KernelStats::instance().add(kernel_, now_ns() - start_ns_);
+}
+
+} // namespace blr

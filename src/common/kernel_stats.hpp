@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace blr {
+
+/// Kernel classes matching the rows of Table 2 of the paper.
+enum class Kernel : int {
+  Compression = 0,     ///< initial/JIT SVD or RRQR compressions
+  BlockFactorization,  ///< dense diagonal-block LU / Cholesky
+  PanelSolve,          ///< TRSM on off-diagonal blocks (dense or LR)
+  LrProduct,           ///< low-rank x low-rank product (incl. T recompression)
+  LrAddition,          ///< LR2LR extend-add recompression
+  DenseUpdate,         ///< dense GEMM update (dense solver + LR2GE target add)
+  Solve,               ///< triangular solves (forward/backward)
+  kCount
+};
+
+/// Accumulates wall time per kernel class across all threads.
+///
+/// Times are accumulated as atomic nanosecond counters; the factorization
+/// wraps each kernel call in a KernelTimer. The cost-distribution benches
+/// read these to regenerate Table 2.
+class KernelStats {
+public:
+  static KernelStats& instance();
+
+  void add(Kernel k, std::uint64_t nanos);
+  [[nodiscard]] double seconds(Kernel k) const;
+  [[nodiscard]] double total_seconds() const;
+  void reset();
+
+  static std::string kernel_name(Kernel k);
+
+private:
+  KernelStats() = default;
+  static constexpr int kN = static_cast<int>(Kernel::kCount);
+  std::array<std::atomic<std::uint64_t>, kN> nanos_{};
+};
+
+/// RAII scope timer feeding KernelStats.
+class KernelTimer {
+public:
+  explicit KernelTimer(Kernel k);
+  ~KernelTimer();
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+private:
+  Kernel kernel_;
+  std::uint64_t start_ns_;
+};
+
+} // namespace blr

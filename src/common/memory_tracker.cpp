@@ -1,0 +1,62 @@
+#include "common/memory_tracker.hpp"
+
+namespace blr {
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::allocate(MemCategory cat, std::size_t bytes) {
+  const int c = static_cast<int>(cat);
+  const std::size_t now = current_[c].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t expected = peak_[c].load(std::memory_order_relaxed);
+  while (now > expected &&
+         !peak_[c].compare_exchange_weak(expected, now, std::memory_order_relaxed)) {
+  }
+  const std::size_t tot = total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t texp = total_peak_.load(std::memory_order_relaxed);
+  while (tot > texp &&
+         !total_peak_.compare_exchange_weak(texp, tot, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(MemCategory cat, std::size_t bytes) {
+  current_[static_cast<int>(cat)].fetch_sub(bytes, std::memory_order_relaxed);
+  total_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::current(MemCategory cat) const {
+  return current_[static_cast<int>(cat)].load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::peak(MemCategory cat) const {
+  return peak_[static_cast<int>(cat)].load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::current_total() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::peak_total() const {
+  return total_peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset() {
+  for (auto& c : current_) c.store(0, std::memory_order_relaxed);
+  for (auto& p : peak_) p.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  total_peak_.store(0, std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::category_name(MemCategory cat) {
+  switch (cat) {
+    case MemCategory::Factors: return "factors";
+    case MemCategory::Symbolic: return "symbolic";
+    case MemCategory::Workspace: return "workspace";
+    case MemCategory::Other: return "other";
+    default: return "?";
+  }
+}
+
+} // namespace blr

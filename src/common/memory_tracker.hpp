@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace blr {
+
+/// Memory categories tracked separately so benches can report "factors" vs
+/// "management structures" the way Figure 7 of the paper does.
+enum class MemCategory : int {
+  Factors = 0,     ///< numeric factor blocks (dense or low-rank U/V)
+  Symbolic,        ///< symbolic structure (cblk/blok descriptors)
+  Workspace,       ///< temporaries used by kernels
+  Other,
+  kCount
+};
+
+/// Process-wide, thread-safe byte counter with per-category current/peak.
+///
+/// The solver registers every allocation/release of numeric storage here;
+/// tests assert e.g. that the Minimal-Memory strategy never reaches the
+/// dense factor footprint.
+class MemoryTracker {
+public:
+  static MemoryTracker& instance();
+
+  void allocate(MemCategory cat, std::size_t bytes);
+  void release(MemCategory cat, std::size_t bytes);
+
+  /// Current live bytes in one category.
+  [[nodiscard]] std::size_t current(MemCategory cat) const;
+  /// Peak live bytes observed in one category since last reset.
+  [[nodiscard]] std::size_t peak(MemCategory cat) const;
+  /// Current live bytes over all categories.
+  [[nodiscard]] std::size_t current_total() const;
+  /// Peak of the *total* (not the sum of per-category peaks).
+  [[nodiscard]] std::size_t peak_total() const;
+
+  void reset();
+
+  static std::string category_name(MemCategory cat);
+
+private:
+  MemoryTracker() = default;
+
+  static constexpr int kN = static_cast<int>(MemCategory::kCount);
+  std::array<std::atomic<std::size_t>, kN> current_{};
+  std::array<std::atomic<std::size_t>, kN> peak_{};
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::size_t> total_peak_{0};
+};
+
+/// RAII registration of a block of tracked memory.
+class TrackedAlloc {
+public:
+  TrackedAlloc() = default;
+  TrackedAlloc(MemCategory cat, std::size_t bytes) : cat_(cat), bytes_(bytes) {
+    if (bytes_ > 0) MemoryTracker::instance().allocate(cat_, bytes_);
+  }
+  TrackedAlloc(const TrackedAlloc&) = delete;
+  TrackedAlloc& operator=(const TrackedAlloc&) = delete;
+  TrackedAlloc(TrackedAlloc&& other) noexcept { swap(other); }
+  TrackedAlloc& operator=(TrackedAlloc&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ~TrackedAlloc() { release(); }
+
+  /// Adjust the tracked size (e.g. a low-rank block whose rank changed).
+  void resize(std::size_t bytes) {
+    if (bytes == bytes_) return;
+    auto& t = MemoryTracker::instance();
+    if (bytes > bytes_) t.allocate(cat_, bytes - bytes_);
+    else t.release(cat_, bytes_ - bytes);
+    bytes_ = bytes;
+  }
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+private:
+  void swap(TrackedAlloc& o) {
+    std::swap(cat_, o.cat_);
+    std::swap(bytes_, o.bytes_);
+  }
+  void release() {
+    if (bytes_ > 0) {
+      MemoryTracker::instance().release(cat_, bytes_);
+      bytes_ = 0;
+    }
+  }
+
+  MemCategory cat_ = MemCategory::Other;
+  std::size_t bytes_ = 0;
+};
+
+} // namespace blr

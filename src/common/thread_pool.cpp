@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace blr {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& f) {
+  if (n <= 0) return;
+  const index_t nthreads = size();
+  const index_t chunk = std::max<index_t>(1, (n + 4 * nthreads - 1) / (4 * nthreads));
+  std::atomic<index_t> next{0};
+  const index_t ntasks = std::min<index_t>(nthreads, (n + chunk - 1) / chunk);
+  for (index_t t = 0; t < ntasks; ++t) {
+    submit([&next, n, chunk, &f] {
+      for (;;) {
+        const index_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const index_t end = std::min(begin + chunk, n);
+        for (index_t i = begin; i < end; ++i) f(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+} // namespace blr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace blr {
+
+/// Fixed-size worker pool with a shared task queue.
+///
+/// This is the execution substrate for the solver's static scheduler: the
+/// numeric factorization enqueues one task per ready supernode and tasks
+/// enqueue their successors when dependency counters drain, mirroring the
+/// static-scheduling design of PaStiX.
+class ThreadPool {
+public:
+  /// Creates @p num_threads workers. 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedule a task. Never blocks.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including tasks submitted by running
+  /// tasks) has finished.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run f(i) for i in [0, n) across the pool and wait for completion.
+  /// Work is chunked to limit queue traffic.
+  void parallel_for(index_t n, const std::function<void(index_t)>& f);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  index_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+} // namespace blr

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace blr {
+
+/// Monotonic wall-clock timer with seconds granularity as double.
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace blr

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace blr {
+
+/// Index type used for matrix dimensions and sparse indices.
+/// 64-bit so multi-million-unknown problems never overflow nnz counts.
+using index_t = std::int64_t;
+
+/// Floating-point type used throughout the numeric layers by default.
+using real_t = double;
+
+} // namespace blr

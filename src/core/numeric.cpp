@@ -1,0 +1,674 @@
+#include "core/numeric.hpp"
+
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/kernel_stats.hpp"
+#include "linalg/factorizations.hpp"
+
+namespace blr::core {
+
+namespace {
+
+/// Index of the blok (within cblk c) whose row interval contains `row`.
+index_t find_blok_row(const symbolic::Cblk& c, index_t row) {
+  index_t lo = 0;
+  index_t hi = static_cast<index_t>(c.bloks.size()) - 1;
+  while (lo <= hi) {
+    const index_t mid = (lo + hi) / 2;
+    const symbolic::Blok& b = c.bloks[static_cast<std::size_t>(mid)];
+    if (row < b.frow) hi = mid - 1;
+    else if (row >= b.lrow) lo = mid + 1;
+    else return mid;
+  }
+  throw Error("assembly: row outside symbolic structure");
+}
+
+} // namespace
+
+NumericFactor::NumericFactor(const sparse::CscMatrix& a,
+                             const ordering::Ordering& ord,
+                             const symbolic::SymbolicFactor& sf,
+                             const SolverOptions& opts, bool llt)
+    : ord_(ord), sf_(sf), opts_(opts), llt_(llt),
+      data_(static_cast<std::size_t>(sf.num_cblks())),
+      locks_(static_cast<std::size_t>(sf.num_cblks())),
+      deps_(static_cast<std::size_t>(sf.num_cblks())) {
+  if (!llt_ && opts_.pivot_threshold > 0) {
+    // Absolute static-pivot cutoff relative to the matrix magnitude.
+    real_t amax = 0;
+    for (const real_t v : a.values()) amax = std::max(amax, std::abs(v));
+    pivot_cutoff_ = opts_.pivot_threshold * amax;
+  }
+  ap_ = a.permuted(ord_.perm);
+  if (!llt_) apt_ = ap_.transposed();
+  input_track_ = TrackedAlloc(
+      MemCategory::Workspace,
+      (static_cast<std::size_t>(ap_.nnz()) + static_cast<std::size_t>(apt_.nnz())) *
+          (sizeof(real_t) + sizeof(index_t)));
+  if (opts_.scheduling == Scheduling::RightLooking) {
+    assemble_all();
+    ap_ = sparse::CscMatrix();
+    apt_ = sparse::CscMatrix();
+    input_track_ = TrackedAlloc();
+  }
+}
+
+bool NumericFactor::compressible(index_t k, const symbolic::Blok& b) const {
+  return sf_.cblk(k).width() >= opts_.compress_min_width &&
+         b.height() >= opts_.compress_min_height;
+}
+
+void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
+                                 std::vector<lr::Block>& panel, bool fill_diag) {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const index_t w = c.width();
+  CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const bool minmem = opts_.strategy == Strategy::MinimalMemory;
+
+  std::vector<la::DMatrix> scratch;
+  scratch.reserve(c.bloks.size());
+  for (const auto& b : c.bloks) scratch.emplace_back(b.height(), w);
+
+  const auto& colptr = src.colptr();
+  const auto& rowind = src.rowind();
+  const auto& values = src.values();
+  for (index_t j = c.fcol; j < c.lcol; ++j) {
+    for (index_t p = colptr[static_cast<std::size_t>(j)];
+         p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t i = rowind[static_cast<std::size_t>(p)];
+      const real_t v = values[static_cast<std::size_t>(p)];
+      if (i < c.fcol) continue;  // upper part, owned by an earlier cblk
+      if (i < c.lcol) {
+        if (fill_diag) cd.diag(i - c.fcol, j - c.fcol) = v;
+        continue;
+      }
+      const index_t idx = find_blok_row(c, i);
+      scratch[static_cast<std::size_t>(idx)](
+          i - c.bloks[static_cast<std::size_t>(idx)].frow, j - c.fcol) = v;
+    }
+  }
+
+  panel.reserve(c.bloks.size());
+  for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
+    if (minmem && compressible(k, c.bloks[idx])) {
+      KernelTimer t(Kernel::Compression);
+      panel.push_back(lr::compress_to_block(opts_.kind, scratch[idx].cview(),
+                                            opts_.tolerance));
+    } else {
+      panel.push_back(lr::Block::from_dense(std::move(scratch[idx])));
+    }
+  }
+}
+
+void NumericFactor::assemble_cblk(index_t k) {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  CblkData& cd = data_[static_cast<std::size_t>(k)];
+  cd.diag = la::DMatrix(c.width(), c.width());
+  cd.diag_track = TrackedAlloc(MemCategory::Factors, cd.diag.bytes());
+  gather_panel(k, ap_, cd.lpanel, /*fill_diag=*/true);
+  if (!llt_) gather_panel(k, apt_, cd.upanel, /*fill_diag=*/false);
+  if (opts_.accumulate_updates) {
+    cd.lacc.resize(c.bloks.size());
+    if (!llt_) cd.uacc.resize(c.bloks.size());
+    cd.acc_track = TrackedAlloc(MemCategory::Workspace, 0);
+  }
+}
+
+void NumericFactor::flush_accumulator(index_t cblk, bool upper, index_t blok_idx) {
+  CblkData& cd = data_[static_cast<std::size_t>(cblk)];
+  auto& accs = upper ? cd.uacc : cd.lacc;
+  lr::LrMatrix& acc = accs[static_cast<std::size_t>(blok_idx)];
+  if (acc.rank() == 0) return;
+
+  const std::size_t freed = acc.entries() * sizeof(real_t);
+  lr::Contribution p;
+  p.lowrank = true;
+  p.lr = std::move(acc);
+  acc = lr::LrMatrix();
+  cd.acc_track.resize(cd.acc_track.bytes() - freed);
+
+  lr::Block& tb = (upper ? cd.upanel : cd.lpanel)[static_cast<std::size_t>(blok_idx)];
+  KernelTimer t(Kernel::LrAddition);
+  // The accumulator is already padded to the block's shape.
+  lr::lr2lr_add(tb, p, 0, 0, opts_.kind, opts_.tolerance, false);
+}
+
+void NumericFactor::flush_all_accumulators(index_t cblk) {
+  CblkData& cd = data_[static_cast<std::size_t>(cblk)];
+  for (std::size_t i = 0; i < cd.lacc.size(); ++i)
+    flush_accumulator(cblk, false, static_cast<index_t>(i));
+  for (std::size_t i = 0; i < cd.uacc.size(); ++i)
+    flush_accumulator(cblk, true, static_cast<index_t>(i));
+}
+
+void NumericFactor::assemble_all() {
+  for (index_t k = 0; k < sf_.num_cblks(); ++k) assemble_cblk(k);
+}
+
+void NumericFactor::factorize(ThreadPool* pool) {
+  const index_t ncblk = sf_.num_cblks();
+  failed_.store(false);
+  trace_.clear();
+  trace_clock_.reset();
+
+  if (opts_.scheduling == Scheduling::LeftLooking) {
+    // The left-looking schedule is inherently sequential here: each
+    // supernode pulls all its updates when it is eliminated.
+    factorize_left_looking();
+    return;
+  }
+
+  // Dependency counters: one per incoming block update.
+  for (auto& d : deps_) d.store(0, std::memory_order_relaxed);
+  for (index_t k = 0; k < ncblk; ++k) {
+    const auto& bloks = sf_.cblk(k).bloks;
+    const index_t nb = static_cast<index_t>(bloks.size());
+    for (index_t j = 0; j < nb; ++j) {
+      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        const index_t t = std::min(bloks[static_cast<std::size_t>(i)].fcblk,
+                                   bloks[static_cast<std::size_t>(j)].fcblk);
+        deps_[static_cast<std::size_t>(t)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (pool == nullptr) {
+    // Sequential right-looking pass: elimination order guarantees every
+    // update lands before its target is processed.
+    for (index_t k = 0; k < ncblk; ++k) eliminate(k);
+    if (failed_.load()) throw NumericalError(error_);
+    return;
+  }
+
+  pool_ = pool;
+  // Snapshot the initially-ready set before submitting anything: a running
+  // task may drain another cblk's counter to zero and submit it itself, and
+  // submitting it here too would eliminate the same supernode twice.
+  std::vector<index_t> ready;
+  for (index_t k = 0; k < ncblk; ++k) {
+    if (deps_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed) == 0) {
+      ready.push_back(k);
+    }
+  }
+  for (const index_t k : ready) {
+    pool->submit([this, k] { eliminate(k); });
+  }
+  pool->wait_idle();
+  pool_ = nullptr;
+  if (failed_.load()) throw NumericalError(error_);
+}
+
+void NumericFactor::factorize_left_looking() {
+  // For each target, the list of (source supernode, row blok, col blok)
+  // updates it receives; built once from the same pair enumeration the
+  // right-looking schedule uses.
+  struct Update {
+    index_t k, bi, bj;
+  };
+  const index_t ncblk = sf_.num_cblks();
+  std::vector<std::vector<Update>> incoming(static_cast<std::size_t>(ncblk));
+  for (index_t k = 0; k < ncblk; ++k) {
+    const auto& bloks = sf_.cblk(k).bloks;
+    const index_t nb = static_cast<index_t>(bloks.size());
+    for (index_t j = 0; j < nb; ++j) {
+      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        const index_t t = std::min(bloks[static_cast<std::size_t>(i)].fcblk,
+                                   bloks[static_cast<std::size_t>(j)].fcblk);
+        incoming[static_cast<std::size_t>(t)].push_back({k, i, j});
+      }
+    }
+  }
+
+  for (index_t k = 0; k < ncblk; ++k) {
+    const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
+    // Allocate and assemble this supernode only now — the memory gain of the
+    // left-looking schedule (paper §4.3).
+    assemble_cblk(k);
+    for (const Update& u : incoming[static_cast<std::size_t>(k)]) {
+      apply_update(u.k, u.bi, u.bj);
+    }
+    incoming[static_cast<std::size_t>(k)].clear();
+    incoming[static_cast<std::size_t>(k)].shrink_to_fit();
+    factor_panel(k);
+    if (opts_.collect_trace) {
+      trace_.push_back({k, 0, t0, trace_clock_.elapsed()});
+    }
+  }
+}
+
+void NumericFactor::eliminate(index_t k) {
+  if (failed_.load(std::memory_order_relaxed)) return;
+  const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
+  try {
+    factor_panel(k);
+
+    // Right-looking updates on the trailing supernodes.
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const index_t nb = static_cast<index_t>(c.bloks.size());
+    for (index_t j = 0; j < nb; ++j) {
+      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        const index_t target = apply_update(k, i, j);
+        const index_t left =
+            deps_[static_cast<std::size_t>(target)].fetch_sub(1,
+                                                              std::memory_order_acq_rel) - 1;
+        if (left == 0 && pool_ != nullptr) {
+          pool_->submit([this, target] { eliminate(target); });
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard lock(error_mutex_);
+    failed_.store(true);
+    if (error_.empty()) error_ = e.what();
+  }
+  if (opts_.collect_trace) {
+    const double t1 = trace_clock_.elapsed();
+    const std::size_t worker = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    std::lock_guard lock(trace_mutex_);
+    trace_.push_back({k, worker, t0, t1});
+  }
+}
+
+void NumericFactor::factor_panel(index_t k) {
+  {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    CblkData& cd = data_[static_cast<std::size_t>(k)];
+
+    // Merge any pending LUAR accumulators: every incoming update must be in
+    // the panels before elimination. All updates into k are already applied
+    // (dependency counters), so no lock is needed.
+    if (opts_.accumulate_updates) flush_all_accumulators(k);
+
+    {
+      KernelTimer t(Kernel::BlockFactorization);
+      if (!llt_ && pivot_cutoff_ > 0) {
+        index_t replaced = 0;
+        la::getrf_static(cd.diag.view(), cd.ipiv, pivot_cutoff_, replaced);
+        if (replaced > 0)
+          pivots_replaced_.fetch_add(replaced, std::memory_order_relaxed);
+      } else {
+        const index_t info = llt_ ? la::potrf(cd.diag.view())
+                                  : la::getrf(cd.diag.view(), cd.ipiv);
+        if (info != 0) {
+          std::ostringstream os;
+          os << (llt_ ? "potrf" : "getrf") << " breakdown in supernode " << k
+             << " at local pivot " << (info - 1);
+          throw NumericalError(os.str());
+        }
+      }
+    }
+
+    // Just-In-Time: compress the accumulated panels now (Algorithm 2 l.3-4).
+    // Minimal-Memory re-attempts the blocks that fell back to dense when an
+    // extend-add transiently exceeded the storage-beneficial rank: their
+    // final rank is often low again, and this keeps the final factor size
+    // of both scenarios similar, as the paper reports.
+    if (opts_.strategy != Strategy::Dense) {
+      const auto compress_panel = [&](std::vector<lr::Block>& panel) {
+        for (std::size_t idx = 0; idx < panel.size(); ++idx) {
+          lr::Block& blk = panel[idx];
+          if (blk.is_lowrank() || !compressible(k, c.bloks[idx])) continue;
+          KernelTimer t(Kernel::Compression);
+          auto lrm = lr::compress(opts_.kind, blk.dense().cview(), opts_.tolerance,
+                                  lr::beneficial_rank_limit(blk.rows(), blk.cols()));
+          if (lrm) blk.set_lowrank(std::move(*lrm));
+        }
+      };
+      compress_panel(cd.lpanel);
+      if (!llt_) compress_panel(cd.upanel);
+    }
+
+    {
+      KernelTimer t(Kernel::PanelSolve);
+      for (auto& blk : cd.lpanel) {
+        if (blk.rank() == 0) continue;
+        if (llt_) {
+          if (blk.is_lowrank()) {
+            la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
+                     blk.lr().v.view());
+          } else {
+            la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
+                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
+                     blk.dense().view());
+          }
+        } else {
+          if (blk.is_lowrank()) {
+            la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::Yes,
+                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
+                     blk.lr().v.view());
+          } else {
+            la::trsm(la::Side::Right, la::Uplo::Upper, la::Trans::No,
+                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
+                     blk.dense().view());
+          }
+        }
+      }
+      if (!llt_) {
+        for (auto& blk : cd.upanel) {
+          if (blk.rank() == 0) continue;
+          // Local pivoting permutes the supernode's rows = the width axis of
+          // the stored transpose: column swaps (dense) / V row swaps (LR).
+          if (blk.is_lowrank()) {
+            la::DMatrix& v = blk.lr().v;
+            for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
+              const index_t p = cd.ipiv[j];
+              if (p != static_cast<index_t>(j)) {
+                for (index_t r = 0; r < v.cols(); ++r)
+                  std::swap(v(static_cast<index_t>(j), r), v(p, r));
+              }
+            }
+            la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
+                     la::Diag::Unit, real_t(1), cd.diag.cview(), blk.lr().v.view());
+          } else {
+            la::DMatrix& d = blk.dense();
+            for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
+              const index_t p = cd.ipiv[j];
+              if (p != static_cast<index_t>(j)) {
+                for (index_t r = 0; r < d.rows(); ++r)
+                  std::swap(d(r, static_cast<index_t>(j)), d(r, p));
+              }
+            }
+            la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
+                     la::Diag::Unit, real_t(1), cd.diag.cview(), d.view());
+          }
+        }
+      }
+    }
+    cd.eliminated = true;
+  }
+}
+
+index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const symbolic::Blok& rb = c.bloks[static_cast<std::size_t>(bi)];  // rows
+  const symbolic::Blok& cb = c.bloks[static_cast<std::size_t>(bj)];  // cols
+  CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const lr::Block& a = cd.lpanel[static_cast<std::size_t>(bi)];
+  const lr::Block& b = llt_ ? cd.lpanel[static_cast<std::size_t>(bj)]
+                            : cd.upanel[static_cast<std::size_t>(bj)];
+
+  // Locate the target: diagonal block when both intervals live in the same
+  // supernode; otherwise the L blok of the earlier cblk (lower triangle) or,
+  // mirrored/transposed, the U blok (upper triangle, LU only).
+  bool transpose = false;
+  bool target_diag = false;
+  bool target_upper = false;
+  index_t tcblk, tb_idx = -1, roff, coff;
+  if (rb.fcblk == cb.fcblk) {
+    tcblk = rb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(tcblk);
+    target_diag = true;
+    roff = rb.frow - tc.fcol;
+    coff = cb.frow - tc.fcol;
+  } else if (rb.fcblk > cb.fcblk) {
+    tcblk = cb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(tcblk);
+    tb_idx = sf_.find_blok(tcblk, rb.frow, rb.lrow);
+    roff = rb.frow - tc.bloks[static_cast<std::size_t>(tb_idx)].frow;
+    coff = cb.frow - tc.fcol;
+  } else {
+    tcblk = rb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(tcblk);
+    tb_idx = sf_.find_blok(tcblk, cb.frow, cb.lrow);
+    roff = cb.frow - tc.bloks[static_cast<std::size_t>(tb_idx)].frow;
+    coff = rb.frow - tc.fcol;
+    transpose = true;
+    target_upper = true;
+  }
+
+  if (a.rank() == 0 || b.rank() == 0) return tcblk;  // zero contribution
+
+  CblkData& td = data_[static_cast<std::size_t>(tcblk)];
+  std::mutex& lock = locks_[static_cast<std::size_t>(tcblk)];
+
+  if (!a.is_lowrank() && !b.is_lowrank()) {
+    // Dense x dense: fuse the GEMM straight into a dense target; only a
+    // low-rank target (Minimal-Memory) needs an explicit contribution.
+    std::lock_guard guard(lock);
+    la::DView tview;
+    if (target_diag) {
+      tview = td.diag.sub(roff, coff, rb.height(), cb.height());
+    } else {
+      lr::Block& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
+                                   : td.lpanel[static_cast<std::size_t>(tb_idx)];
+      if (tb.is_lowrank()) {
+        lr::Contribution p;
+        p.lowrank = false;
+        p.dense = la::DMatrix(rb.height(), cb.height());
+        {
+          KernelTimer t(Kernel::DenseUpdate);
+          la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), a.dense().cview(),
+                   b.dense().cview(), real_t(0), p.dense.view());
+        }
+        KernelTimer t(Kernel::LrAddition);
+        lr::lr2lr_add(tb, p, roff, coff, opts_.kind, opts_.tolerance, transpose);
+        return tcblk;
+      }
+      // roff/coff are already expressed in the target block's coordinates;
+      // only the contribution's dimensions swap under transposition.
+      tview = tb.dense().sub(roff, coff,
+                             transpose ? cb.height() : rb.height(),
+                             transpose ? rb.height() : cb.height());
+      // For the transposed mirror target, subtract (A·Bᵗ)ᵗ = B·Aᵗ.
+      KernelTimer t(Kernel::DenseUpdate);
+      if (transpose) {
+        la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), b.dense().cview(),
+                 a.dense().cview(), real_t(1), tview);
+      } else {
+        la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.dense().cview(),
+                 b.dense().cview(), real_t(1), tview);
+      }
+      return tcblk;
+    }
+    KernelTimer t(Kernel::DenseUpdate);
+    la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.dense().cview(),
+             b.dense().cview(), real_t(1), tview);
+    return tcblk;
+  }
+
+  // At least one low-rank operand: form the contribution outside the lock.
+  const bool need_ortho = opts_.strategy == Strategy::MinimalMemory;
+  lr::Contribution p;
+  {
+    KernelTimer t(Kernel::LrProduct);
+    p = ab_t_product(a, b, opts_.kind, opts_.tolerance, need_ortho);
+  }
+  if (p.lowrank && p.rank() == 0) return tcblk;
+
+  std::lock_guard guard(lock);
+  if (target_diag) {
+    KernelTimer t(Kernel::DenseUpdate);
+    lr::apply_to_dense(p, td.diag.sub(roff, coff, rb.height(), cb.height()), false);
+  } else {
+    lr::Block& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
+                                 : td.lpanel[static_cast<std::size_t>(tb_idx)];
+    if (tb.is_lowrank()) {
+      if (opts_.accumulate_updates && p.lowrank) {
+        // LUAR accumulation: append the padded contribution factors and
+        // defer the (expensive, target-sized) recompression.
+        KernelTimer t(Kernel::LrAddition);
+        la::DConstView pu = transpose ? p.lr.v.cview() : p.lr.u.cview();
+        la::DConstView pv = transpose ? p.lr.u.cview() : p.lr.v.cview();
+        lr::LrMatrix& acc = (target_upper ? td.uacc : td.lacc)[static_cast<std::size_t>(tb_idx)];
+        const index_t old_rank = acc.rank();
+        la::DMatrix nu(tb.rows(), old_rank + pu.cols);
+        la::DMatrix nv(tb.cols(), old_rank + pu.cols);
+        if (old_rank > 0) {
+          la::copy<real_t>(acc.u.cview(), nu.sub(0, 0, tb.rows(), old_rank));
+          la::copy<real_t>(acc.v.cview(), nv.sub(0, 0, tb.cols(), old_rank));
+        }
+        const index_t blok_roff =
+            roff + 0;  // contribution row offset within the block
+        for (index_t j = 0; j < pu.cols; ++j) {
+          std::copy_n(pu.col(j), pu.rows,
+                      nu.data() + (old_rank + j) * tb.rows() + blok_roff);
+          std::copy_n(pv.col(j), pv.rows,
+                      nv.data() + (old_rank + j) * tb.cols() + coff);
+        }
+        const std::size_t before = acc.entries() * sizeof(real_t);
+        acc = lr::LrMatrix(std::move(nu), std::move(nv));
+        td.acc_track.resize(td.acc_track.bytes() - before +
+                            acc.entries() * sizeof(real_t));
+        if (acc.rank() >= opts_.accumulate_max_rank) {
+          flush_accumulator(tcblk, target_upper, tb_idx);
+        }
+      } else {
+        KernelTimer t(Kernel::LrAddition);
+        lr::lr2lr_add(tb, p, roff, coff, opts_.kind, opts_.tolerance, transpose);
+      }
+    } else {
+      KernelTimer t(Kernel::DenseUpdate);
+      lr::add_contribution_dense(tb.dense(), p, roff, coff, transpose);
+    }
+  }
+  return tcblk;
+}
+
+void NumericFactor::solve_permuted(la::DView x) const {
+  KernelTimer timer(Kernel::Solve);
+  const index_t ncblk = sf_.num_cblks();
+  const index_t nrhs = x.cols;
+  la::DMatrix tmp;
+
+  // Forward substitution: L·Y = (locally pivoted) B.
+  for (index_t k = 0; k < ncblk; ++k) {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
+    if (!llt_) {
+      for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
+        const index_t p = cd.ipiv[j];
+        if (p != static_cast<index_t>(j)) {
+          for (index_t r = 0; r < nrhs; ++r)
+            std::swap(xk(static_cast<index_t>(j), r), xk(p, r));
+        }
+      }
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::Unit,
+               real_t(1), cd.diag.cview(), xk);
+    } else {
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::NonUnit,
+               real_t(1), cd.diag.cview(), xk);
+    }
+    for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
+      const lr::Block& blk = cd.lpanel[idx];
+      if (blk.rank() == 0) continue;
+      la::DView xi = x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
+      if (blk.is_lowrank()) {
+        tmp.reshape(blk.rank(), nrhs);
+        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), blk.lr().v.cview(),
+                 la::DConstView(xk), real_t(0), tmp.view());
+        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.lr().u.cview(),
+                 tmp.cview(), real_t(1), xi);
+      } else {
+        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.dense().cview(),
+                 la::DConstView(xk), real_t(1), xi);
+      }
+    }
+  }
+
+  // Backward substitution: U·X = Y (or Lᵗ·X = Y for Cholesky).
+  for (index_t k = ncblk - 1; k >= 0; --k) {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
+    for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
+      const lr::Block& blk = llt_ ? cd.lpanel[idx] : cd.upanel[idx];
+      if (blk.rank() == 0) continue;
+      const la::DConstView xi =
+          x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
+      // xk -= blokᵗ·x_rows (both panels are stored rows x width).
+      if (blk.is_lowrank()) {
+        tmp.reshape(blk.rank(), nrhs);
+        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), blk.lr().u.cview(), xi,
+                 real_t(0), tmp.view());
+        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.lr().v.cview(),
+                 tmp.cview(), real_t(1), xk);
+      } else {
+        la::gemm(la::Trans::Yes, la::Trans::No, real_t(-1), blk.dense().cview(), xi,
+                 real_t(1), xk);
+      }
+    }
+    if (llt_) {
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::Yes, la::Diag::NonUnit,
+               real_t(1), cd.diag.cview(), xk);
+    } else {
+      la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit,
+               real_t(1), cd.diag.cview(), xk);
+    }
+  }
+}
+
+void NumericFactor::solve(const real_t* b, real_t* x) const {
+  solve(la::DConstView(b, sf_.n(), 1, sf_.n()), la::DView(x, sf_.n(), 1, sf_.n()));
+}
+
+void NumericFactor::solve(la::DConstView b, la::DView x) const {
+  const index_t n = sf_.n();
+  BLR_CHECK(b.rows == n && x.rows == n && b.cols == x.cols,
+            "solve: right-hand-side shape mismatch");
+  la::DMatrix xp(n, b.cols);
+  for (index_t r = 0; r < b.cols; ++r) {
+    for (index_t i = 0; i < n; ++i)
+      xp(i, r) = b(ord_.perm[static_cast<std::size_t>(i)], r);
+  }
+  solve_permuted(xp.view());
+  for (index_t r = 0; r < b.cols; ++r) {
+    for (index_t i = 0; i < n; ++i)
+      x(ord_.perm[static_cast<std::size_t>(i)], r) = xp(i, r);
+  }
+}
+
+std::size_t NumericFactor::final_entries() const {
+  std::size_t e = 0;
+  for (index_t k = 0; k < sf_.num_cblks(); ++k) {
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    e += static_cast<std::size_t>(cd.diag.size());
+    for (const auto& blk : cd.lpanel) e += blk.storage_entries();
+    for (const auto& blk : cd.upanel) e += blk.storage_entries();
+  }
+  return e;
+}
+
+index_t NumericFactor::num_lowrank_blocks() const {
+  index_t n = 0;
+  for (const auto& cd : data_) {
+    for (const auto& blk : cd.lpanel) n += blk.is_lowrank() ? 1 : 0;
+    for (const auto& blk : cd.upanel) n += blk.is_lowrank() ? 1 : 0;
+  }
+  return n;
+}
+
+index_t NumericFactor::num_dense_blocks() const {
+  index_t n = 0;
+  for (const auto& cd : data_) {
+    for (const auto& blk : cd.lpanel) n += blk.is_lowrank() ? 0 : 1;
+    for (const auto& blk : cd.upanel) n += blk.is_lowrank() ? 0 : 1;
+  }
+  return n;
+}
+
+double NumericFactor::average_rank() const {
+  index_t count = 0;
+  index_t total = 0;
+  for (const auto& cd : data_) {
+    for (const auto& blk : cd.lpanel) {
+      if (blk.is_lowrank()) {
+        ++count;
+        total += blk.rank();
+      }
+    }
+    for (const auto& blk : cd.upanel) {
+      if (blk.is_lowrank()) {
+        ++count;
+        total += blk.rank();
+      }
+    }
+  }
+  return count > 0 ? static_cast<double>(total) / static_cast<double>(count) : 0.0;
+}
+
+} // namespace blr::core

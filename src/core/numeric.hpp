@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/options.hpp"
+#include "lowrank/kernels.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace blr::core {
+
+/// Numeric storage for one column block: the dense diagonal block plus the
+/// L panel (and, for LU, the transposed-U panel) as dense or low-rank blocks
+/// following the symbolic structure.
+struct CblkData {
+  la::DMatrix diag;
+  TrackedAlloc diag_track;
+  std::vector<lr::Block> lpanel;
+  std::vector<lr::Block> upanel;        ///< empty for LLᵗ
+  std::vector<index_t> ipiv;            ///< local pivots (LU diagonal block)
+  /// LUAR accumulators (one per panel block, empty = inactive): padded
+  /// [U_acc, V_acc] factors of pending contributions awaiting one combined
+  /// extend-add. Only used with options.accumulate_updates.
+  std::vector<lr::LrMatrix> lacc;
+  std::vector<lr::LrMatrix> uacc;
+  TrackedAlloc acc_track;
+  bool eliminated = false;
+};
+
+/// One elimination-task execution record (Gantt row) of the factorization.
+struct TraceEvent {
+  index_t cblk;
+  std::size_t worker;  ///< hashed thread id
+  double start;        ///< seconds since factorize() began
+  double end;
+};
+
+/// The supernodal right-looking numeric factorization implementing the
+/// three strategies of the paper (Dense baseline, Just-In-Time, Minimal
+/// Memory), for both LU (general, symmetric pattern) and LLᵗ (SPD).
+class NumericFactor {
+public:
+  /// Assembles the (permuted) initial matrix into the block structure.
+  /// For Minimal-Memory this is where the initial compression (lines 1-4 of
+  /// Algorithm 1) happens; the dense factor structure is never allocated.
+  NumericFactor(const sparse::CscMatrix& a, const ordering::Ordering& ord,
+                const symbolic::SymbolicFactor& sf, const SolverOptions& opts,
+                bool llt);
+
+  NumericFactor(const NumericFactor&) = delete;
+  NumericFactor& operator=(const NumericFactor&) = delete;
+
+  /// Runs the numeric factorization. `pool` may be null for sequential
+  /// execution; otherwise supernode eliminations are scheduled as tasks
+  /// whose dependencies are the incoming block updates.
+  void factorize(ThreadPool* pool);
+
+  /// Triangular solves in the permuted index space on a block of right-hand
+  /// sides (n x nrhs, in/out).
+  void solve_permuted(la::DView x) const;
+  void solve_permuted(real_t* x) const {
+    solve_permuted(la::DView(x, sf_.n(), 1, sf_.n()));
+  }
+
+  /// Solve A·x = b including permutation handling (b and x length n).
+  void solve(const real_t* b, real_t* x) const;
+
+  /// Multi-RHS variant: X = A⁻¹·B (both n x nrhs; aliasing allowed).
+  void solve(la::DConstView b, la::DView x) const;
+
+  [[nodiscard]] bool is_llt() const { return llt_; }
+  [[nodiscard]] const symbolic::SymbolicFactor& symbolic() const { return sf_; }
+
+  /// Entries actually stored (dense + low-rank factors, diag included).
+  [[nodiscard]] std::size_t final_entries() const;
+  [[nodiscard]] index_t num_lowrank_blocks() const;
+  [[nodiscard]] index_t num_dense_blocks() const;
+  [[nodiscard]] double average_rank() const;
+  [[nodiscard]] index_t pivots_replaced() const {
+    return pivots_replaced_.load(std::memory_order_relaxed);
+  }
+
+  /// Elimination schedule trace (empty unless options.collect_trace).
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Direct block access (tests / benches).
+  [[nodiscard]] const CblkData& cblk_data(index_t k) const {
+    return data_[static_cast<std::size_t>(k)];
+  }
+
+private:
+  void assemble_all();
+  void assemble_cblk(index_t k);
+  void gather_panel(index_t k, const sparse::CscMatrix& src,
+                    std::vector<lr::Block>& panel, bool fill_diag);
+  void eliminate(index_t k);
+  /// Diagonal factorization + (JIT) compression + panel solves of cblk k.
+  void factor_panel(index_t k);
+  void factorize_left_looking();
+  /// Apply the (i,j) update produced by supernode k; returns the target cblk.
+  index_t apply_update(index_t k, index_t bi, index_t bj);
+  /// Merge a pending LUAR accumulator into its block (caller holds the
+  /// target lock or the target is quiescent).
+  void flush_accumulator(index_t cblk, bool upper, index_t blok_idx);
+  void flush_all_accumulators(index_t cblk);
+  [[nodiscard]] bool compressible(index_t k, const symbolic::Blok& b) const;
+
+  const ordering::Ordering& ord_;
+  const symbolic::SymbolicFactor& sf_;
+  SolverOptions opts_;
+  bool llt_;
+
+  // Permuted input (and its transpose for the U side). Kept alive for the
+  // left-looking schedule, which assembles supernodes lazily; released after
+  // assembly in the right-looking schedule.
+  sparse::CscMatrix ap_;
+  sparse::CscMatrix apt_;
+  TrackedAlloc input_track_;
+
+  std::vector<CblkData> data_;
+  std::vector<std::mutex> locks_;              // per-cblk update locks
+  std::vector<std::atomic<index_t>> deps_;     // remaining incoming updates
+  ThreadPool* pool_ = nullptr;                 // active during factorize()
+  real_t pivot_cutoff_ = 0;                    // absolute static-pivot threshold
+  std::atomic<index_t> pivots_replaced_{0};
+  std::vector<TraceEvent> trace_;
+  std::mutex trace_mutex_;
+  Timer trace_clock_;
+  std::atomic<bool> failed_{false};
+  std::string error_;
+  std::mutex error_mutex_;
+};
+
+} // namespace blr::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include "common/types.hpp"
+#include "lowrank/compression.hpp"
+#include "ordering/ordering.hpp"
+#include "symbolic/amalgamation.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace blr::core {
+
+/// The three factorization scenarios compared in the paper.
+enum class Strategy {
+  Dense,          ///< original PaStiX: every block dense (the baseline)
+  JustInTime,     ///< Algorithm 2: compress a panel when its supernode is eliminated (LR2GE updates)
+  MinimalMemory,  ///< Algorithm 1: compress A up front, maintain LR through the factorization (LR2LR updates)
+};
+
+/// Numeric factorization kind.
+enum class Factorization {
+  Auto,  ///< LLᵗ when the matrix says SPD, LU otherwise
+  Lu,
+  Llt,
+};
+
+/// Update scheduling. Right-looking is the paper's setup (static parallel
+/// scheduler). Left-looking is the §4.3 extension: a supernode's panels are
+/// allocated, assembled and updated only when it is eliminated, so the
+/// Just-In-Time strategy's memory peak drops below the dense footprint
+/// (sequential execution only).
+enum class Scheduling {
+  RightLooking,
+  LeftLooking,
+};
+
+/// Everything configurable about a solver run. Defaults reproduce the
+/// paper's experimental setup (§4: split 256/128, compressible width 128,
+/// minimal height 20, RRQR, τ = 1e-8).
+struct SolverOptions {
+  Strategy strategy = Strategy::JustInTime;
+  Factorization factorization = Factorization::Auto;
+  lr::CompressionKind kind = lr::CompressionKind::Rrqr;
+  real_t tolerance = 1e-8;  ///< block compression tolerance τ
+  int threads = 1;          ///< worker threads for the numeric factorization
+  Scheduling scheduling = Scheduling::RightLooking;
+
+  ordering::NdOptions nd;
+  symbolic::SplitOptions split;
+  symbolic::AmalgamationOptions amalgamation;
+  bool amalgamate = true;  ///< merge small supernodes under the frat budget
+
+  /// A column block is compressible when at least this wide...
+  index_t compress_min_width = 128;
+  /// ...and an off-diagonal block when at least this tall.
+  index_t compress_min_height = 20;
+
+  /// Static pivoting threshold for the LU path (PaStiX-style): local pivots
+  /// with magnitude below `pivot_threshold * ||A||_max` are replaced instead
+  /// of aborting, and the replacement count lands in the stats. 0 disables
+  /// (a tiny pivot then throws NumericalError).
+  real_t pivot_threshold = 0.0;
+
+  /// Record one (supernode, worker, start, end) event per elimination;
+  /// retrieve with Solver::trace() / write_trace_csv(). Cheap but not free.
+  bool collect_trace = false;
+
+  /// Verify in analyze() that the nonzero pattern is symmetric (the
+  /// solver's structural requirement, paper §1). One O(nnz) pass; disable
+  /// only when the producer guarantees symmetry.
+  bool check_pattern = true;
+
+  /// LUAR-style update accumulation for the Minimal-Memory scenario (the
+  /// aggregation of small contributions the paper's conclusion proposes):
+  /// low-rank contributions to a low-rank target are appended to a
+  /// per-block accumulator and recompressed in one extend-add when the
+  /// accumulated rank reaches `accumulate_max_rank` (or at the target's
+  /// elimination), instead of paying one Θ(m_C·…) recompression per update.
+  bool accumulate_updates = false;
+  index_t accumulate_max_rank = 32;
+};
+
+const char* strategy_name(Strategy s);
+const char* kind_name(lr::CompressionKind k);
+
+} // namespace blr::core

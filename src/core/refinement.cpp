@@ -1,0 +1,205 @@
+#include "core/refinement.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace blr::core {
+
+namespace {
+
+real_t vec_norm(const std::vector<real_t>& v) {
+  return la::nrm2(static_cast<index_t>(v.size()), v.data());
+}
+
+/// r = b - A·x; returns ‖r‖₂.
+real_t residual(const sparse::CscMatrix& a, const real_t* x, const real_t* b,
+                std::vector<real_t>& r) {
+  const index_t n = a.rows();
+  r.resize(static_cast<std::size_t>(n));
+  a.spmv(x, r.data());
+  for (index_t i = 0; i < n; ++i) r[static_cast<std::size_t>(i)] = b[i] - r[static_cast<std::size_t>(i)];
+  return vec_norm(r);
+}
+
+} // namespace
+
+RefinementResult iterative_refinement(const sparse::CscMatrix& a,
+                                      const Preconditioner& m, const real_t* b,
+                                      real_t* x, const RefinementOptions& opts) {
+  const index_t n = a.rows();
+  RefinementResult out;
+  std::vector<real_t> r, d(static_cast<std::size_t>(n));
+  const real_t bnorm = la::nrm2(n, b);
+  if (bnorm == 0) {
+    // Zero right-hand side: the solution is zero, and backward errors are
+    // measured relative to nothing — report immediate convergence.
+    std::fill_n(x, n, real_t(0));
+    out.history.push_back(0);
+    out.converged = true;
+    return out;
+  }
+
+  real_t rnorm = residual(a, x, b, r);
+  out.history.push_back(rnorm / bnorm);
+  for (index_t it = 0; it < opts.max_iterations; ++it) {
+    if (out.history.back() <= opts.target) {
+      out.converged = true;
+      break;
+    }
+    m(r.data(), d.data());
+    for (index_t i = 0; i < n; ++i) x[i] += d[static_cast<std::size_t>(i)];
+    rnorm = residual(a, x, b, r);
+    out.history.push_back(rnorm / bnorm);
+    ++out.iterations;
+  }
+  out.converged = out.history.back() <= opts.target;
+  return out;
+}
+
+RefinementResult gmres(const sparse::CscMatrix& a, const Preconditioner& m,
+                       const real_t* b, real_t* x, const RefinementOptions& opts) {
+  const index_t n = a.rows();
+  const index_t restart = std::min<index_t>(opts.gmres_restart, n);
+  RefinementResult out;
+  const real_t bnorm = la::nrm2(n, b);
+  if (bnorm == 0) {
+    // Zero right-hand side: the solution is zero, and backward errors are
+    // measured relative to nothing — report immediate convergence.
+    std::fill_n(x, n, real_t(0));
+    out.history.push_back(0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<real_t> r;
+  real_t beta = residual(a, x, b, r);
+  out.history.push_back(beta / bnorm);
+
+  std::vector<std::vector<real_t>> v;  // Krylov basis
+  std::vector<real_t> h(static_cast<std::size_t>((restart + 1) * restart), 0);
+  const auto H = [&](index_t i, index_t j) -> real_t& {
+    return h[static_cast<std::size_t>(i + j * (restart + 1))];
+  };
+  std::vector<real_t> cs(static_cast<std::size_t>(restart));
+  std::vector<real_t> sn(static_cast<std::size_t>(restart));
+  std::vector<real_t> g(static_cast<std::size_t>(restart + 1));
+  std::vector<real_t> z(static_cast<std::size_t>(n)), w(static_cast<std::size_t>(n));
+
+  while (out.iterations < opts.max_iterations &&
+         out.history.back() > opts.target && beta > 0) {
+    std::fill(h.begin(), h.end(), real_t(0));
+    std::fill(g.begin(), g.end(), real_t(0));
+    g[0] = beta;
+    v.assign(1, r);
+    la::scal(n, real_t(1) / beta, v[0].data());
+
+    index_t j = 0;
+    for (; j < restart && out.iterations < opts.max_iterations; ++j) {
+      // w = A·M⁻¹·v_j (right preconditioning keeps the true residual).
+      m(v[static_cast<std::size_t>(j)].data(), z.data());
+      a.spmv(z.data(), w.data());
+      // Modified Gram-Schmidt.
+      for (index_t i = 0; i <= j; ++i) {
+        const real_t hij = la::dot(n, w.data(), v[static_cast<std::size_t>(i)].data());
+        H(i, j) = hij;
+        la::axpy(n, -hij, v[static_cast<std::size_t>(i)].data(), w.data());
+      }
+      const real_t hnext = la::nrm2(n, w.data());
+      H(j + 1, j) = hnext;
+      if (hnext > 0) {
+        v.emplace_back(w);
+        la::scal(n, real_t(1) / hnext, v.back().data());
+      }
+      // Apply previous Givens rotations to the new column.
+      for (index_t i = 0; i < j; ++i) {
+        const real_t t = cs[static_cast<std::size_t>(i)] * H(i, j) +
+                         sn[static_cast<std::size_t>(i)] * H(i + 1, j);
+        H(i + 1, j) = -sn[static_cast<std::size_t>(i)] * H(i, j) +
+                      cs[static_cast<std::size_t>(i)] * H(i + 1, j);
+        H(i, j) = t;
+      }
+      const real_t denom = std::hypot(H(j, j), H(j + 1, j));
+      cs[static_cast<std::size_t>(j)] = (denom > 0) ? H(j, j) / denom : real_t(1);
+      sn[static_cast<std::size_t>(j)] = (denom > 0) ? H(j + 1, j) / denom : real_t(0);
+      H(j, j) = denom;
+      H(j + 1, j) = 0;
+      g[static_cast<std::size_t>(j + 1)] = -sn[static_cast<std::size_t>(j)] *
+                                           g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] *= cs[static_cast<std::size_t>(j)];
+
+      ++out.iterations;
+      out.history.push_back(std::abs(g[static_cast<std::size_t>(j + 1)]) / bnorm);
+      if (out.history.back() <= opts.target || hnext == 0) {
+        ++j;
+        break;
+      }
+    }
+
+    // Back-substitute y and update x += M⁻¹·(V·y).
+    std::vector<real_t> y(static_cast<std::size_t>(j), 0);
+    for (index_t i = j - 1; i >= 0; --i) {
+      real_t s = g[static_cast<std::size_t>(i)];
+      for (index_t l = i + 1; l < j; ++l) s -= H(i, l) * y[static_cast<std::size_t>(l)];
+      y[static_cast<std::size_t>(i)] = s / H(i, i);
+    }
+    std::fill(w.begin(), w.end(), real_t(0));
+    for (index_t i = 0; i < j; ++i)
+      la::axpy(n, y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)].data(),
+               w.data());
+    m(w.data(), z.data());
+    la::axpy(n, real_t(1), z.data(), x);
+
+    beta = residual(a, x, b, r);
+  }
+  out.converged = out.history.back() <= opts.target;
+  return out;
+}
+
+RefinementResult conjugate_gradient(const sparse::CscMatrix& a,
+                                    const Preconditioner& m, const real_t* b,
+                                    real_t* x, const RefinementOptions& opts) {
+  const index_t n = a.rows();
+  RefinementResult out;
+  const real_t bnorm = la::nrm2(n, b);
+  if (bnorm == 0) {
+    // Zero right-hand side: the solution is zero, and backward errors are
+    // measured relative to nothing — report immediate convergence.
+    std::fill_n(x, n, real_t(0));
+    out.history.push_back(0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<real_t> r;
+  residual(a, x, b, r);
+  std::vector<real_t> z(static_cast<std::size_t>(n));
+  m(r.data(), z.data());
+  std::vector<real_t> p = z;
+  std::vector<real_t> ap(static_cast<std::size_t>(n));
+  real_t rz = la::dot(n, r.data(), z.data());
+  out.history.push_back(vec_norm(r) / bnorm);
+
+  for (index_t it = 0; it < opts.max_iterations; ++it) {
+    if (out.history.back() <= opts.target || rz == 0) break;
+    a.spmv(p.data(), ap.data());
+    const real_t pap = la::dot(n, p.data(), ap.data());
+    if (pap <= 0) break;  // matrix not SPD (or breakdown)
+    const real_t alpha = rz / pap;
+    la::axpy(n, alpha, p.data(), x);
+    la::axpy(n, -alpha, ap.data(), r.data());
+    m(r.data(), z.data());
+    const real_t rz_next = la::dot(n, r.data(), z.data());
+    const real_t betak = rz_next / rz;
+    rz = rz_next;
+    for (index_t i = 0; i < n; ++i)
+      p[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] +
+                                       betak * p[static_cast<std::size_t>(i)];
+    ++out.iterations;
+    out.history.push_back(vec_norm(r) / bnorm);
+  }
+  out.converged = out.history.back() <= opts.target;
+  return out;
+}
+
+} // namespace blr::core

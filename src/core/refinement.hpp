@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace blr::core {
+
+/// Application of a preconditioner: out = M⁻¹·in (both length n).
+using Preconditioner = std::function<void(const real_t*, real_t*)>;
+
+/// Result of an iterative run: per-iteration backward errors
+/// ‖A·x − b‖₂/‖b‖₂ (index 0 = after the initial solve), as Figure 8 plots.
+struct RefinementResult {
+  std::vector<real_t> history;
+  index_t iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] real_t final_error() const {
+    return history.empty() ? real_t(1) : history.back();
+  }
+};
+
+struct RefinementOptions {
+  index_t max_iterations = 20;
+  real_t target = 1e-12;   ///< stop when the backward error drops below this
+  index_t gmres_restart = 30;
+};
+
+/// Classical iterative refinement: x ← x + M⁻¹(b − A·x).
+RefinementResult iterative_refinement(const sparse::CscMatrix& a,
+                                      const Preconditioner& m, const real_t* b,
+                                      real_t* x, const RefinementOptions& opts = {});
+
+/// Right-preconditioned restarted GMRES (general matrices, Figure 8).
+/// x must hold an initial guess (typically M⁻¹·b).
+RefinementResult gmres(const sparse::CscMatrix& a, const Preconditioner& m,
+                       const real_t* b, real_t* x,
+                       const RefinementOptions& opts = {});
+
+/// Preconditioned conjugate gradient (SPD matrices, Figure 8).
+RefinementResult conjugate_gradient(const sparse::CscMatrix& a,
+                                    const Preconditioner& m, const real_t* b,
+                                    real_t* x, const RefinementOptions& opts = {});
+
+} // namespace blr::core

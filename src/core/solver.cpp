@@ -1,0 +1,179 @@
+#include "core/solver.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "sparse/graph.hpp"
+
+namespace blr::core {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Dense: return "Dense";
+    case Strategy::JustInTime: return "Just-In-Time";
+    case Strategy::MinimalMemory: return "Minimal Memory";
+  }
+  return "?";
+}
+
+const char* kind_name(lr::CompressionKind k) {
+  switch (k) {
+    case lr::CompressionKind::Svd: return "SVD";
+    case lr::CompressionKind::Rrqr: return "RRQR";
+    case lr::CompressionKind::Randomized: return "Randomized";
+  }
+  return "?";
+}
+
+Solver::Solver(SolverOptions opts) : opts_(opts) {
+  if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+}
+
+Solver::~Solver() = default;
+
+void Solver::analyze(const sparse::CscMatrix& a) {
+  BLR_CHECK(a.rows() == a.cols(), "solver requires a square matrix");
+  if (opts_.check_pattern) {
+    BLR_CHECK(a.pattern_symmetric(),
+              "the solver requires a symmetric nonzero pattern (symmetrize the "
+              "matrix, e.g. by assembling A + Aᵗ's pattern, before factorizing)");
+  }
+  Timer timer;
+
+  const sparse::Graph g = sparse::Graph::from_matrix(a);
+  ord_ = ordering::nested_dissection(g, opts_.nd);
+  std::vector<index_t> ranges = ord_.ranges;
+  if (opts_.amalgamate) {
+    ranges = symbolic::amalgamate(a, ord_, std::move(ranges), opts_.amalgamation);
+  }
+  ranges = symbolic::split_ranges(ranges, opts_.split);
+  sf_ = std::make_unique<symbolic::SymbolicFactor>(
+      symbolic::SymbolicFactor::build(a, ord_, ranges));
+  num_.reset();
+
+  stats_ = SolverStats{};
+  stats_.time_analyze = timer.elapsed();
+  stats_.n = a.rows();
+  stats_.num_cblks = sf_->num_cblks();
+  stats_.num_bloks = sf_->num_bloks();
+}
+
+void Solver::factorize(const sparse::CscMatrix& a) {
+  if (!analyzed()) analyze(a);
+  BLR_CHECK(a.rows() == sf_->n(), "matrix size changed since analyze()");
+
+  switch (opts_.factorization) {
+    case Factorization::Llt: llt_ = true; break;
+    case Factorization::Lu: llt_ = false; break;
+    case Factorization::Auto:
+      llt_ = (a.symmetry() == sparse::Symmetry::Spd);
+      break;
+  }
+
+  // Fresh peak measurement for this factorization.
+  MemoryTracker::instance().reset();
+
+  Timer timer;
+  num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, opts_, llt_);
+  num_->factorize(pool_.get());
+  stats_.time_factorize = timer.elapsed();
+
+  stats_.factor_entries_dense =
+      llt_ ? sf_->factor_entries_lower() : sf_->factor_entries_lu();
+  stats_.factor_entries_final = num_->final_entries();
+  stats_.factors_peak_bytes = MemoryTracker::instance().peak(MemCategory::Factors);
+  stats_.total_peak_bytes = MemoryTracker::instance().peak_total();
+  stats_.num_lowrank_blocks = num_->num_lowrank_blocks();
+  stats_.num_dense_blocks = num_->num_dense_blocks();
+  stats_.average_rank = num_->average_rank();
+  stats_.pivots_replaced = num_->pivots_replaced();
+}
+
+void Solver::solve(const real_t* b, real_t* x) const {
+  BLR_CHECK(factorized(), "factorize() must be called before solve()");
+  Timer timer;
+  num_->solve(b, x);
+  const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
+}
+
+std::vector<real_t> Solver::solve(const std::vector<real_t>& b) const {
+  std::vector<real_t> x(b.size());
+  solve(b.data(), x.data());
+  return x;
+}
+
+void Solver::solve(la::DConstView b, la::DView x) const {
+  BLR_CHECK(factorized(), "factorize() must be called before solve()");
+  Timer timer;
+  num_->solve(b, x);
+  const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
+}
+
+Preconditioner Solver::preconditioner() const {
+  BLR_CHECK(factorized(), "factorize() must be called before preconditioner()");
+  const NumericFactor* num = num_.get();
+  return [num](const real_t* in, real_t* out) { num->solve(in, out); };
+}
+
+const std::vector<TraceEvent>& Solver::trace() const {
+  BLR_CHECK(factorized(), "factorize() must be called before trace()");
+  return num_->trace();
+}
+
+void Solver::write_trace_csv(const std::string& path) const {
+  const auto& events = trace();
+  std::ofstream out(path);
+  BLR_CHECK(out.good(), "cannot open trace file: " + path);
+  out << "cblk,worker,start_s,end_s\n";
+  out.precision(9);
+  for (const auto& e : events) {
+    out << e.cblk << ',' << e.worker << ',' << e.start << ',' << e.end << '\n';
+  }
+}
+
+void Solver::print_summary(std::ostream& os) const {
+  os << "BLR solver summary\n"
+     << "  strategy      : " << strategy_name(opts_.strategy) << " / "
+     << kind_name(opts_.kind) << ", tau = " << opts_.tolerance << "\n"
+     << "  scheduling    : "
+     << (opts_.scheduling == Scheduling::LeftLooking ? "left-looking"
+                                                     : "right-looking")
+     << ", threads = " << opts_.threads << "\n";
+  if (!analyzed()) {
+    os << "  (not analyzed yet)\n";
+    return;
+  }
+  os << "  matrix        : n = " << stats_.n << ", " << stats_.num_cblks
+     << " column blocks, " << stats_.num_bloks << " blocks\n"
+     << "  analyze       : " << stats_.time_analyze << " s\n";
+  if (!factorized()) {
+    os << "  (not factorized yet)\n";
+    return;
+  }
+  os << "  factorization : " << (llt_ ? "LL^t" : "LU") << ", "
+     << stats_.time_factorize << " s\n"
+     << "  factors       : "
+     << static_cast<double>(stats_.factor_entries_final) * sizeof(real_t) / 1e6
+     << " MB (dense "
+     << static_cast<double>(stats_.factor_entries_dense) * sizeof(real_t) / 1e6
+     << " MB, ratio " << stats_.compression_ratio() << "x)\n"
+     << "  blocks        : " << stats_.num_lowrank_blocks << " low-rank (avg rank "
+     << stats_.average_rank << "), " << stats_.num_dense_blocks << " dense\n"
+     << "  memory peak   : "
+     << static_cast<double>(stats_.factors_peak_bytes) / 1e6 << " MB factors, "
+     << static_cast<double>(stats_.total_peak_bytes) / 1e6 << " MB total\n";
+  if (stats_.pivots_replaced > 0) {
+    os << "  static pivots : " << stats_.pivots_replaced << " replaced\n";
+  }
+}
+
+RefinementResult Solver::refine(const sparse::CscMatrix& a, const real_t* b,
+                                real_t* x, const RefinementOptions& opts) const {
+  BLR_CHECK(factorized(), "factorize() must be called before refine()");
+  const Preconditioner m = preconditioner();
+  return llt_ ? conjugate_gradient(a, m, b, x, opts) : gmres(a, m, b, x, opts);
+}
+
+} // namespace blr::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/numeric.hpp"
+#include "core/options.hpp"
+#include "core/refinement.hpp"
+#include "core/stats.hpp"
+
+namespace blr::core {
+
+/// Public facade of the BLR supernodal solver.
+///
+/// Typical use:
+/// ```
+///   blr::core::SolverOptions opts;
+///   opts.strategy = blr::core::Strategy::MinimalMemory;
+///   opts.tolerance = 1e-8;
+///   blr::core::Solver solver(opts);
+///   solver.factorize(A);              // analyze() implied
+///   solver.solve(b.data(), x.data());
+///   solver.refine(A, b.data(), x.data());  // optional GMRES/CG polish
+/// ```
+class Solver {
+public:
+  explicit Solver(SolverOptions opts = {});
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Preprocessing: nested-dissection ordering, supernode splitting and
+  /// block symbolic factorization. Independent of numerical values — call
+  /// once and factorize() repeatedly for matrices with the same pattern.
+  void analyze(const sparse::CscMatrix& a);
+
+  /// Numeric phase: assembly (+ initial compression for Minimal-Memory) and
+  /// the block factorization under the configured strategy.
+  void factorize(const sparse::CscMatrix& a);
+
+  /// Direct triangular solve (b, x of length n; aliasing allowed).
+  void solve(const real_t* b, real_t* x) const;
+  [[nodiscard]] std::vector<real_t> solve(const std::vector<real_t>& b) const;
+
+  /// Multi right-hand-side solve: X = A⁻¹·B (both n x nrhs).
+  void solve(la::DConstView b, la::DView x) const;
+
+  /// Polish x with the factorization-preconditioned iterative method the
+  /// paper uses: CG when the factorization is LLᵗ, GMRES otherwise.
+  RefinementResult refine(const sparse::CscMatrix& a, const real_t* b, real_t* x,
+                          const RefinementOptions& opts = {}) const;
+
+  /// The factorization as a preconditioner application M⁻¹.
+  [[nodiscard]] Preconditioner preconditioner() const;
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+  /// Human-readable one-screen summary of the last run (configuration,
+  /// structure, per-phase times, memory, compression).
+  void print_summary(std::ostream& os) const;
+
+  /// Elimination schedule of the last factorize() (needs
+  /// options.collect_trace). One row per supernode: cblk, worker, start, end.
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const;
+  void write_trace_csv(const std::string& path) const;
+  [[nodiscard]] const SolverOptions& options() const { return opts_; }
+  [[nodiscard]] bool analyzed() const { return sf_ != nullptr; }
+  [[nodiscard]] bool factorized() const { return num_ != nullptr; }
+  [[nodiscard]] bool is_llt() const { return llt_; }
+
+  [[nodiscard]] const ordering::Ordering& ordering() const { return ord_; }
+  [[nodiscard]] const symbolic::SymbolicFactor& symbolic() const { return *sf_; }
+  [[nodiscard]] const NumericFactor& numeric() const { return *num_; }
+
+private:
+  SolverOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+  ordering::Ordering ord_;
+  std::unique_ptr<symbolic::SymbolicFactor> sf_;
+  std::unique_ptr<NumericFactor> num_;
+  SolverStats stats_;
+  bool llt_ = false;
+};
+
+} // namespace blr::core
+
+namespace blr {
+using core::Factorization;
+using core::RefinementOptions;
+using core::RefinementResult;
+using core::Solver;
+using core::SolverOptions;
+using core::SolverStats;
+using core::Strategy;
+} // namespace blr

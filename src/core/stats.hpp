@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace blr::core {
+
+/// Aggregate measurements of one solver run — the quantities the paper's
+/// tables and figures report.
+struct SolverStats {
+  // Phase wall times (seconds).
+  double time_analyze = 0;
+  double time_factorize = 0;
+  double time_solve = 0;
+
+  // Structure.
+  index_t n = 0;
+  index_t num_cblks = 0;
+  index_t num_bloks = 0;
+
+  /// Entries the dense (original PaStiX) storage would need.
+  std::size_t factor_entries_dense = 0;
+  /// Entries actually stored at the end of the factorization.
+  std::size_t factor_entries_final = 0;
+
+  /// Peak bytes in the Factors memory category during factorization.
+  std::size_t factors_peak_bytes = 0;
+  /// Peak bytes over all tracked categories.
+  std::size_t total_peak_bytes = 0;
+
+  index_t num_lowrank_blocks = 0;
+  index_t num_dense_blocks = 0;
+  double average_rank = 0;  ///< mean rank over the final low-rank blocks
+
+  /// Pivots replaced by static pivoting (LU with pivot_threshold > 0).
+  index_t pivots_replaced = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return factor_entries_final > 0
+               ? static_cast<double>(factor_entries_dense) /
+                     static_cast<double>(factor_entries_final)
+               : 0.0;
+  }
+};
+
+} // namespace blr::core

@@ -1,0 +1,247 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+
+namespace blr::la {
+
+namespace {
+
+/// Scale C by beta (handles beta == 0 without reading C).
+template <typename T>
+void scale_matrix(T beta, MatView<T> c) {
+  if (beta == T(1)) return;
+  if (beta == T(0)) {
+    fill(c, T(0));
+    return;
+  }
+  for (index_t j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
+}
+
+// C += alpha * A * B, cache-blocked over k.
+template <typename T>
+void gemm_nn(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
+  constexpr index_t kb = 256;
+  for (index_t k0 = 0; k0 < a.cols; k0 += kb) {
+    const index_t kend = std::min(k0 + kb, a.cols);
+    for (index_t j = 0; j < c.cols; ++j) {
+      T* cj = c.col(j);
+      for (index_t k = k0; k < kend; ++k) {
+        const T bkj = alpha * b(k, j);
+        if (bkj == T(0)) continue;
+        axpy(c.rows, bkj, a.col(k), cj);
+      }
+    }
+  }
+}
+
+// C += alpha * Aᵗ * B (dot-product formulation; A, B columns contiguous).
+template <typename T>
+void gemm_tn(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    const T* bj = b.col(j);
+    for (index_t i = 0; i < c.rows; ++i) {
+      c(i, j) += alpha * dot(a.rows, a.col(i), bj);
+    }
+  }
+}
+
+// C += alpha * A * Bᵗ.
+template <typename T>
+void gemm_nt(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    T* cj = c.col(j);
+    for (index_t k = 0; k < a.cols; ++k) {
+      const T bjk = alpha * b(j, k);
+      if (bjk == T(0)) continue;
+      axpy(c.rows, bjk, a.col(k), cj);
+    }
+  }
+}
+
+// C += alpha * Aᵗ * Bᵗ.
+template <typename T>
+void gemm_tt(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    for (index_t i = 0; i < c.rows; ++i) {
+      T s = T(0);
+      const T* ai = a.col(i);  // column i of A = row i of Aᵗ
+      for (index_t k = 0; k < a.rows; ++k) s += ai[k] * b(j, k);
+      c(i, j) += alpha * s;
+    }
+  }
+}
+
+} // namespace
+
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
+          T beta, MatView<T> c) {
+  const index_t opa_rows = (trans_a == Trans::No) ? a.rows : a.cols;
+  const index_t opa_cols = (trans_a == Trans::No) ? a.cols : a.rows;
+  const index_t opb_rows = (trans_b == Trans::No) ? b.rows : b.cols;
+  const index_t opb_cols = (trans_b == Trans::No) ? b.cols : b.rows;
+  assert(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows);
+  (void)opa_rows;
+  (void)opb_cols;
+  (void)opb_rows;
+
+  scale_matrix(beta, c);
+  if (alpha == T(0) || opa_cols == 0 || c.empty()) return;
+
+  if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
+  else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
+  else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
+  else gemm_tt(alpha, a, b, c);
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstView<T> a,
+          MatView<T> b) {
+  const index_t m = b.rows;
+  const index_t n = b.cols;
+  if (side == Side::Left) assert(a.rows == m && a.cols == m);
+  else assert(a.rows == n && a.cols == n);
+
+  scale_matrix(alpha, b);
+  if (b.empty()) return;
+  const bool unit = (diag == Diag::Unit);
+
+  if (side == Side::Left) {
+    if ((uplo == Uplo::Lower && trans == Trans::No) ||
+        (uplo == Uplo::Upper && trans == Trans::Yes)) {
+      // Forward substitution per column of B.
+      for (index_t j = 0; j < n; ++j) {
+        T* bj = b.col(j);
+        if (uplo == Uplo::Lower) {
+          for (index_t k = 0; k < m; ++k) {
+            if (!unit) bj[k] /= a(k, k);
+            const T bk = bj[k];
+            if (bk != T(0)) axpy(m - k - 1, -bk, a.col(k) + k + 1, bj + k + 1);
+          }
+        } else {  // Upper, Trans: Uᵗ is lower; Uᵗ(k, 0:k) = U(0:k, k)
+          for (index_t k = 0; k < m; ++k) {
+            bj[k] -= dot(k, a.col(k), bj);
+            if (!unit) bj[k] /= a(k, k);
+          }
+        }
+      }
+    } else {
+      // Backward substitution per column of B.
+      for (index_t j = 0; j < n; ++j) {
+        T* bj = b.col(j);
+        if (uplo == Uplo::Upper) {  // Upper, NoTrans
+          for (index_t k = m - 1; k >= 0; --k) {
+            if (!unit) bj[k] /= a(k, k);
+            const T bk = bj[k];
+            if (bk != T(0)) axpy(k, -bk, a.col(k), bj);
+          }
+        } else {  // Lower, Trans: Lᵗ upper; row k of Lᵗ beyond diag = L(k+1:m, k)
+          for (index_t k = m - 1; k >= 0; --k) {
+            bj[k] -= dot(m - k - 1, a.col(k) + k + 1, bj + k + 1);
+            if (!unit) bj[k] /= a(k, k);
+          }
+        }
+      }
+    }
+  } else {  // Side::Right — X * op(A) = B
+    if ((uplo == Uplo::Upper && trans == Trans::No) ||
+        (uplo == Uplo::Lower && trans == Trans::Yes)) {
+      // Forward over columns of B.
+      for (index_t j = 0; j < n; ++j) {
+        T* bj = b.col(j);
+        for (index_t k = 0; k < j; ++k) {
+          const T akj = (trans == Trans::No) ? a(k, j) : a(j, k);
+          if (akj != T(0)) axpy(m, -akj, b.col(k), bj);
+        }
+        if (!unit) scal(m, T(1) / a(j, j), bj);
+      }
+    } else {
+      // Backward over columns of B.
+      for (index_t j = n - 1; j >= 0; --j) {
+        T* bj = b.col(j);
+        for (index_t k = j + 1; k < n; ++k) {
+          const T akj = (trans == Trans::No) ? a(k, j) : a(j, k);
+          if (akj != T(0)) axpy(m, -akj, b.col(k), bj);
+        }
+        if (!unit) scal(m, T(1) / a(j, j), bj);
+      }
+    }
+  }
+}
+
+template <typename T>
+void syrk(Uplo uplo, Trans trans, T alpha, ConstView<T> a, T beta, MatView<T> c) {
+  const index_t n = c.rows;
+  assert(c.cols == n);
+  const index_t k = (trans == Trans::No) ? a.cols : a.rows;
+  assert(((trans == Trans::No) ? a.rows : a.cols) == n);
+  (void)k;
+
+  // Scale the referenced triangle.
+  for (index_t j = 0; j < n; ++j) {
+    const index_t i0 = (uplo == Uplo::Lower) ? j : 0;
+    const index_t i1 = (uplo == Uplo::Lower) ? n : j + 1;
+    if (beta == T(0)) std::fill(c.col(j) + i0, c.col(j) + i1, T(0));
+    else if (beta != T(1)) scal(i1 - i0, beta, c.col(j) + i0);
+  }
+  if (alpha == T(0)) return;
+
+  if (trans == Trans::No) {
+    // C(triangle) += alpha * A * Aᵗ
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t p = 0; p < a.cols; ++p) {
+        const T ajp = alpha * a(j, p);
+        if (ajp == T(0)) continue;
+        if (uplo == Uplo::Lower) axpy(n - j, ajp, a.col(p) + j, c.col(j) + j);
+        else axpy(j + 1, ajp, a.col(p), c.col(j));
+      }
+    }
+  } else {
+    // C(triangle) += alpha * Aᵗ * A
+    for (index_t j = 0; j < n; ++j) {
+      const index_t i0 = (uplo == Uplo::Lower) ? j : 0;
+      const index_t i1 = (uplo == Uplo::Lower) ? n : j + 1;
+      for (index_t i = i0; i < i1; ++i) {
+        c(i, j) += alpha * dot(a.rows, a.col(i), a.col(j));
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemv(Trans trans, T alpha, ConstView<T> a, const T* x, T beta, T* y) {
+  const index_t ny = (trans == Trans::No) ? a.rows : a.cols;
+  if (beta == T(0)) std::fill_n(y, ny, T(0));
+  else if (beta != T(1)) scal(ny, beta, y);
+  if (alpha == T(0)) return;
+
+  if (trans == Trans::No) {
+    for (index_t j = 0; j < a.cols; ++j) {
+      const T xj = alpha * x[j];
+      if (xj != T(0)) axpy(a.rows, xj, a.col(j), y);
+    }
+  } else {
+    for (index_t j = 0; j < a.cols; ++j) y[j] += alpha * dot(a.rows, a.col(j), x);
+  }
+}
+
+template <typename T>
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstView<T> a, T* b) {
+  MatView<T> bv(b, a.rows, 1, a.rows);
+  trsm(Side::Left, uplo, trans, diag, T(1), a, bv);
+}
+
+// Explicit instantiations.
+#define BLR_INSTANTIATE_BLAS(T)                                                        \
+  template void gemm<T>(Trans, Trans, T, ConstView<T>, ConstView<T>, T, MatView<T>);   \
+  template void trsm<T>(Side, Uplo, Trans, Diag, T, ConstView<T>, MatView<T>);         \
+  template void syrk<T>(Uplo, Trans, T, ConstView<T>, T, MatView<T>);                  \
+  template void gemv<T>(Trans, T, ConstView<T>, const T*, T, T*);                      \
+  template void trsv<T>(Uplo, Trans, Diag, ConstView<T>, T*);
+
+BLR_INSTANTIATE_BLAS(float)
+BLR_INSTANTIATE_BLAS(double)
+
+#undef BLR_INSTANTIATE_BLAS
+
+} // namespace blr::la

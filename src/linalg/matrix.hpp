@@ -1,0 +1,166 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace blr::la {
+
+/// Non-owning view of a column-major matrix (data + leading dimension).
+/// T may be const-qualified for read-only views.
+template <typename T>
+struct MatView {
+  T* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;  ///< leading dimension (stride between columns), ld >= rows
+
+  MatView() = default;
+  MatView(T* d, index_t r, index_t c, index_t l) : data(d), rows(r), cols(c), ld(l) {
+    assert(l >= r);
+  }
+  MatView(T* d, index_t r, index_t c) : MatView(d, r, c, r) {}
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[i + j * ld];
+  }
+
+  [[nodiscard]] T* col(index_t j) const { return data + j * ld; }
+
+  /// Sub-view of rows [i, i+r) and columns [j, j+c).
+  [[nodiscard]] MatView sub(index_t i, index_t j, index_t r, index_t c) const {
+    assert(i >= 0 && j >= 0 && r >= 0 && c >= 0 && i + r <= rows && j + c <= cols);
+    return MatView(data + i + j * ld, r, c, ld);
+  }
+
+  [[nodiscard]] MatView block_rows(index_t i, index_t r) const { return sub(i, 0, r, cols); }
+  [[nodiscard]] MatView block_cols(index_t j, index_t c) const { return sub(0, j, rows, c); }
+
+  [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+  [[nodiscard]] index_t size() const { return rows * cols; }
+  [[nodiscard]] bool contiguous() const { return ld == rows; }
+
+  /// Implicit widening to a const view.
+  operator MatView<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return MatView<const T>(data, rows, cols, ld);
+  }
+};
+
+template <typename T>
+using ConstView = MatView<const T>;
+
+/// Owning column-major dense matrix.
+template <typename T>
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        storage_(static_cast<std::size_t>(rows * cols), T(0)) {
+    BLR_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  }
+
+  /// Deep copy from any view (compacts the leading dimension).
+  explicit Matrix(ConstView<T> v) : Matrix(v.rows, v.cols) {
+    assign(v);
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return rows_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return storage_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] const T* data() const { return storage_.data(); }
+
+  [[nodiscard]] MatView<T> view() { return MatView<T>(data(), rows_, cols_, rows_); }
+  [[nodiscard]] ConstView<T> view() const { return ConstView<T>(data(), rows_, cols_, rows_); }
+  [[nodiscard]] ConstView<T> cview() const { return view(); }
+
+  operator MatView<T>() { return view(); }
+  operator ConstView<T>() const { return view(); }
+
+  [[nodiscard]] MatView<T> sub(index_t i, index_t j, index_t r, index_t c) {
+    return view().sub(i, j, r, c);
+  }
+  [[nodiscard]] ConstView<T> sub(index_t i, index_t j, index_t r, index_t c) const {
+    return view().sub(i, j, r, c);
+  }
+
+  void set_zero() { std::fill(storage_.begin(), storage_.end(), T(0)); }
+
+  /// Copies the contents of @p v (dimensions must match).
+  void assign(ConstView<T> v) {
+    BLR_CHECK(v.rows == rows_ && v.cols == cols_, "assign: shape mismatch");
+    for (index_t j = 0; j < cols_; ++j)
+      std::copy_n(v.col(j), rows_, data() + j * rows_);
+  }
+
+  /// Reallocate to new dimensions; contents are zeroed.
+  void reshape(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    storage_.assign(static_cast<std::size_t>(rows * cols), T(0));
+  }
+
+  [[nodiscard]] std::size_t bytes() const { return storage_.size() * sizeof(T); }
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> storage_;
+};
+
+/// Copy src into dst (shapes must match; strides may differ).
+template <typename T>
+void copy(ConstView<T> src, MatView<T> dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t j = 0; j < src.cols; ++j)
+    std::copy_n(src.col(j), src.rows, dst.col(j));
+}
+
+/// Set every entry of v to value.
+template <typename T>
+void fill(MatView<T> v, T value) {
+  for (index_t j = 0; j < v.cols; ++j)
+    std::fill_n(v.col(j), v.rows, value);
+}
+
+/// Set v to the identity (rectangular: ones on the main diagonal).
+template <typename T>
+void set_identity(MatView<T> v) {
+  fill(v, T(0));
+  const index_t n = std::min(v.rows, v.cols);
+  for (index_t i = 0; i < n; ++i) v(i, i) = T(1);
+}
+
+/// Out-of-place transpose: dst = srcᵗ.
+template <typename T>
+void transpose(ConstView<T> src, MatView<T> dst) {
+  assert(src.rows == dst.cols && src.cols == dst.rows);
+  for (index_t j = 0; j < src.cols; ++j)
+    for (index_t i = 0; i < src.rows; ++i) dst(j, i) = src(i, j);
+}
+
+using DMatrix = Matrix<real_t>;
+using DView = MatView<real_t>;
+using DConstView = ConstView<real_t>;
+
+} // namespace blr::la

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace blr::la {
+
+/// Frobenius norm of a (possibly strided) view.
+template <typename T>
+T norm_fro(ConstView<T> a);
+
+/// Largest absolute entry.
+template <typename T>
+T norm_max(ConstView<T> a);
+
+/// 1-norm (max absolute column sum).
+template <typename T>
+T norm_one(ConstView<T> a);
+
+/// Frobenius norm of (A - B); shapes must match.
+template <typename T>
+T diff_fro(ConstView<T> a, ConstView<T> b);
+
+} // namespace blr::la

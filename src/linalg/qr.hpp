@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace blr::la {
+
+/// Householder QR in place (LAPACK geqrf layout): R in the upper triangle,
+/// the Householder vectors below the diagonal (implicit unit leading 1),
+/// scalar factors in @p tau.
+template <typename T>
+void geqrf(MatView<T> a, std::vector<T>& tau);
+
+/// Overwrite the factored matrix (m x k columns of Householder vectors) with
+/// the thin orthonormal factor Q (m x k).
+template <typename T>
+void orgqr(MatView<T> a, const std::vector<T>& tau);
+
+/// Apply Q (or Qᵗ) from a geqrf factorization to C from the left:
+/// C := op(Q) * C, where Q is held as @p k Householder reflectors in @p a.
+template <typename T>
+void ormqr_left(Trans trans, ConstView<T> a, const std::vector<T>& tau, MatView<T> c);
+
+/// Truncated column-pivoted Householder QR (the RRQR compression kernel,
+/// LAPACK xGEQP3-style with the early exit of §3.1.2 of the paper).
+///
+/// Factors A·P = Q·R but stops as soon as the Frobenius norm of the trailing
+/// submatrix drops to @p tol (absolute), or @p max_rank reflectors have been
+/// applied. On exit the first r columns of @p a hold the reflectors/R rows;
+/// @p jpvt[j] is the original index of the column moved to position j
+/// (full-length permutation over all columns).
+///
+/// Returns the numerical rank r (0 <= r <= min(max_rank, min(m,n))).
+template <typename T>
+index_t geqp3_trunc(MatView<T> a, std::vector<index_t>& jpvt, std::vector<T>& tau,
+                    T tol, index_t max_rank);
+
+/// Generate and apply a single Householder reflector: given the vector
+/// (alpha, x), produces beta, tau and overwrites x with the reflector tail
+/// such that H·(alpha, x)ᵗ = (beta, 0)ᵗ. Exposed for testing.
+template <typename T>
+T larfg(T alpha, index_t n, T* x, T& tau);
+
+} // namespace blr::la

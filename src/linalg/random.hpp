@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "common/prng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace blr::la {
+
+/// Fill a view with i.i.d. standard normal entries.
+template <typename T>
+void random_normal(MatView<T> a, Prng& rng) {
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) a(i, j) = static_cast<T>(rng.normal());
+}
+
+/// Random m x n matrix of exact rank r (product of two Gaussian factors).
+template <typename T>
+Matrix<T> random_rank_k(index_t m, index_t n, index_t r, Prng& rng) {
+  Matrix<T> x(m, r);
+  Matrix<T> y(n, r);
+  random_normal(x.view(), rng);
+  random_normal(y.view(), rng);
+  Matrix<T> a(m, n);
+  gemm(Trans::No, Trans::Yes, T(1), x.cview(), y.cview(), T(0), a.view());
+  return a;
+}
+
+/// Random m x n matrix with geometrically decaying singular values
+/// sigma_k = decay^k — the spectrum shape of the long-distance interaction
+/// blocks the paper compresses.
+template <typename T>
+Matrix<T> random_decaying(index_t m, index_t n, T decay, Prng& rng) {
+  const index_t k = std::min(m, n);
+  Matrix<T> a(m, n);
+  T scale = T(1);
+  // Sum of rank-1 Gaussian outer products with decaying weights: yields a
+  // matrix whose singular values decay at the prescribed geometric rate
+  // (up to small Gaussian-mixing factors), which is all the compression
+  // kernels care about.
+  Matrix<T> x(m, 1);
+  Matrix<T> y(n, 1);
+  for (index_t p = 0; p < k; ++p) {
+    random_normal(x.view(), rng);
+    random_normal(y.view(), rng);
+    gemm(Trans::No, Trans::Yes, scale, x.cview(), y.cview(), T(1), a.view());
+    scale *= decay;
+    if (scale < std::numeric_limits<T>::min() * T(1e6)) break;
+  }
+  return a;
+}
+
+/// Random symmetric positive definite n x n matrix: Aᵗ·A + n·I.
+template <typename T>
+Matrix<T> random_spd(index_t n, Prng& rng) {
+  Matrix<T> g(n, n);
+  random_normal(g.view(), rng);
+  Matrix<T> a(n, n);
+  gemm(Trans::Yes, Trans::No, T(1), g.cview(), g.cview(), T(0), a.view());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<T>(n);
+  return a;
+}
+
+/// Random well-conditioned square matrix (Gaussian + dominant diagonal).
+template <typename T>
+Matrix<T> random_diagdom(index_t n, Prng& rng) {
+  Matrix<T> a(n, n);
+  random_normal(a.view(), rng);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<T>(2 * n);
+  return a;
+}
+
+} // namespace blr::la

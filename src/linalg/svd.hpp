@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace blr::la {
+
+/// Thin singular value decomposition A = U · diag(sigma) · Vᵗ computed with
+/// the one-sided Jacobi method (robust, no bidiagonalization needed).
+///
+/// On exit, with k = min(m, n):
+///   u     : m x k, orthonormal columns
+///   sigma : k singular values, non-increasing
+///   v     : n x k, orthonormal columns
+template <typename T>
+void svd(ConstView<T> a, Matrix<T>& u, std::vector<T>& sigma, Matrix<T>& v);
+
+/// Singular values only (same algorithm, skips U/V assembly where possible).
+template <typename T>
+std::vector<T> singular_values(ConstView<T> a);
+
+} // namespace blr::la

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <utility>
+
+#include "common/memory_tracker.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace blr::lr {
+
+/// Rank-r factorization A ≈ U·Vᵗ with U: m x r and V: n x r.
+/// Every kernel in this library maintains U with orthonormal columns; V
+/// carries the scaling (paper §3: u orthogonal, vᵗ = R or σ·Vᵗ).
+struct LrMatrix {
+  la::DMatrix u;
+  la::DMatrix v;
+
+  LrMatrix() = default;
+  LrMatrix(la::DMatrix u_, la::DMatrix v_) : u(std::move(u_)), v(std::move(v_)) {}
+
+  [[nodiscard]] index_t rows() const { return u.rows(); }
+  [[nodiscard]] index_t cols() const { return v.rows(); }
+  [[nodiscard]] index_t rank() const { return u.cols(); }
+  [[nodiscard]] std::size_t entries() const {
+    return static_cast<std::size_t>(u.size() + v.size());
+  }
+
+  /// Materialize into `out` (must be rows() x cols()): out = U·Vᵗ.
+  void to_dense(la::DView out) const {
+    la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), u.cview(), v.cview(),
+             real_t(0), out);
+  }
+
+  /// out -= U·Vᵗ (or out -= V·Uᵗ when `transpose`).
+  void subtract_from(la::DView out, bool transpose = false) const {
+    if (!transpose) {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), u.cview(), v.cview(),
+               real_t(1), out);
+    } else {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), v.cview(), u.cview(),
+               real_t(1), out);
+    }
+  }
+};
+
+/// A factor block that is either dense or low-rank, with its storage
+/// registered in the global MemoryTracker (category Factors by default).
+/// This is the unit the two strategies manipulate: Minimal-Memory keeps
+/// blocks low-rank through the whole factorization, Just-In-Time keeps them
+/// dense until their supernode is eliminated.
+class Block {
+public:
+  Block() = default;
+
+  static Block make_dense(index_t m, index_t n,
+                          MemCategory cat = MemCategory::Factors) {
+    Block b;
+    b.rows_ = m;
+    b.cols_ = n;
+    b.cat_ = cat;
+    b.dense_ = la::DMatrix(m, n);
+    b.lowrank_ = false;
+    b.track_ = TrackedAlloc(cat, b.dense_.bytes());
+    return b;
+  }
+
+  /// Take ownership of an existing dense matrix.
+  static Block from_dense(la::DMatrix d, MemCategory cat = MemCategory::Factors) {
+    Block b;
+    b.rows_ = d.rows();
+    b.cols_ = d.cols();
+    b.cat_ = cat;
+    b.dense_ = std::move(d);
+    b.lowrank_ = false;
+    b.track_ = TrackedAlloc(cat, b.dense_.bytes());
+    return b;
+  }
+
+  static Block make_lowrank(index_t m, index_t n, LrMatrix lr,
+                            MemCategory cat = MemCategory::Factors) {
+    Block b;
+    b.rows_ = m;
+    b.cols_ = n;
+    b.cat_ = cat;
+    b.lr_ = std::move(lr);
+    b.lowrank_ = true;
+    b.track_ = TrackedAlloc(cat, b.lr_.entries() * sizeof(real_t));
+    return b;
+  }
+
+  [[nodiscard]] bool is_lowrank() const { return lowrank_; }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t rank() const { return lowrank_ ? lr_.rank() : index_t(-1); }
+
+  [[nodiscard]] la::DMatrix& dense() { return dense_; }
+  [[nodiscard]] const la::DMatrix& dense() const { return dense_; }
+  [[nodiscard]] LrMatrix& lr() { return lr_; }
+  [[nodiscard]] const LrMatrix& lr() const { return lr_; }
+
+  [[nodiscard]] std::size_t storage_entries() const {
+    return lowrank_ ? lr_.entries() : static_cast<std::size_t>(dense_.size());
+  }
+
+  /// Replace contents with a low-rank representation (tracker updated).
+  void set_lowrank(LrMatrix lr) {
+    lr_ = std::move(lr);
+    dense_ = la::DMatrix();
+    lowrank_ = true;
+    track_.resize(lr_.entries() * sizeof(real_t));
+  }
+
+  /// Replace contents with a dense matrix (tracker updated).
+  void set_dense(la::DMatrix d) {
+    dense_ = std::move(d);
+    lr_ = LrMatrix();
+    lowrank_ = false;
+    track_.resize(dense_.bytes());
+  }
+
+  /// Convert a low-rank block to dense in place.
+  void densify() {
+    if (!lowrank_) return;
+    la::DMatrix d(rows_, cols_);
+    lr_.to_dense(d.view());
+    set_dense(std::move(d));
+  }
+
+  /// Materialize the block's value into `out` (rows x cols).
+  void to_dense(la::DView out) const {
+    if (lowrank_) lr_.to_dense(out);
+    else la::copy<real_t>(dense_.cview(), out);
+  }
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  MemCategory cat_ = MemCategory::Factors;
+  bool lowrank_ = false;
+  la::DMatrix dense_;
+  LrMatrix lr_;
+  TrackedAlloc track_;
+};
+
+} // namespace blr::lr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+
+#include "lowrank/block.hpp"
+
+namespace blr::lr {
+
+/// Rank-revealing kernel family (§3.1 of the paper): SVD finds the smallest
+/// ranks but costs Θ(m²n + n³); RRQR stops at the numerical rank for Θ(mnr).
+/// Randomized is the kernel the paper's conclusion lists as future work: an
+/// adaptive Gaussian range-finder (Halko-Martinsson-Tropp) followed by a
+/// small SVD — Θ(mnr) with better cache behaviour than pivoted QR. Its
+/// extend-add recompression reuses the RRQR variant.
+enum class CompressionKind { Svd, Rrqr, Randomized };
+
+/// Compression tolerance semantics: the returned Â satisfies
+/// ‖A − Â‖_F <= tol_rel · ‖A‖_F.
+struct CompressionOptions {
+  CompressionKind kind = CompressionKind::Rrqr;
+  real_t tol_rel = 1e-8;
+};
+
+/// Largest rank at which the U·Vᵗ form stores fewer entries than the dense
+/// block: r · (m + n) < m · n.
+inline index_t beneficial_rank_limit(index_t m, index_t n) {
+  if (m + n == 0) return 0;
+  return (m * n - 1) / (m + n);  // strictly beneficial
+}
+
+/// Compress `a` to ‖A − Â‖_F <= tol_rel·‖A‖_F with at most `max_rank`
+/// columns. Returns std::nullopt when the tolerance cannot be met within
+/// max_rank (the caller keeps the block dense). The returned U has
+/// orthonormal columns.
+std::optional<LrMatrix> compress_svd(la::DConstView a, real_t tol_rel, index_t max_rank);
+std::optional<LrMatrix> compress_rrqr(la::DConstView a, real_t tol_rel, index_t max_rank);
+std::optional<LrMatrix> compress_randomized(la::DConstView a, real_t tol_rel,
+                                            index_t max_rank);
+
+std::optional<LrMatrix> compress(CompressionKind kind, la::DConstView a,
+                                 real_t tol_rel, index_t max_rank);
+
+/// Compress with the storage-beneficial rank limit; returns a low-rank Block
+/// on success, a dense copy otherwise.
+Block compress_to_block(CompressionKind kind, la::DConstView a, real_t tol_rel,
+                        MemCategory cat = MemCategory::Factors);
+
+} // namespace blr::lr

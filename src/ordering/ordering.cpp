@@ -1,0 +1,308 @@
+#include "ordering/ordering.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace blr::ordering {
+
+namespace {
+
+/// BFS level of every vertex from `start`; returns (levels, farthest vertex,
+/// number of levels). Unreached vertices keep level -1.
+struct BfsResult {
+  std::vector<index_t> level;
+  index_t farthest;
+  index_t num_levels;
+};
+
+BfsResult bfs_levels(const sparse::Graph& g, index_t start) {
+  BfsResult r;
+  r.level.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<index_t> frontier{start};
+  r.level[static_cast<std::size_t>(start)] = 0;
+  r.farthest = start;
+  index_t lvl = 0;
+  while (!frontier.empty()) {
+    std::vector<index_t> next;
+    for (const index_t v : frontier) {
+      for (const index_t* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        if (r.level[static_cast<std::size_t>(*u)] < 0) {
+          r.level[static_cast<std::size_t>(*u)] = lvl + 1;
+          next.push_back(*u);
+        }
+      }
+    }
+    if (!next.empty()) r.farthest = next.back();
+    frontier = std::move(next);
+    ++lvl;
+  }
+  r.num_levels = lvl;
+  return r;
+}
+
+/// BFS visit order over the whole (possibly disconnected) graph; gives
+/// locality-preserving intra-supernode orderings.
+std::vector<index_t> bfs_order(const sparse::Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (index_t s = 0; s < n; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    seen[static_cast<std::size_t>(s)] = 1;
+    std::size_t head = order.size();
+    order.push_back(s);
+    while (head < order.size()) {
+      const index_t v = order[head++];
+      for (const index_t* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        if (!seen[static_cast<std::size_t>(*u)]) {
+          seen[static_cast<std::size_t>(*u)] = 1;
+          order.push_back(*u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+} // namespace
+
+Separator find_separator(const sparse::Graph& g, const NdOptions& opts) {
+  const index_t n = g.num_vertices();
+  Separator best;
+  best.s.resize(static_cast<std::size_t>(n));  // worst case: everything separator
+  std::iota(best.s.begin(), best.s.end(), index_t{0});
+  index_t best_cost = n + 1;
+  double best_balance = 0.0;
+
+  // Candidate BFS sources: 0, then pseudo-peripheral chases.
+  std::vector<index_t> sources;
+  index_t src = 0;
+  for (int trial = 0; trial < opts.bfs_trials; ++trial) {
+    if (std::find(sources.begin(), sources.end(), src) != sources.end()) break;
+    sources.push_back(src);
+    src = bfs_levels(g, src).farthest;
+  }
+
+  for (const index_t s0 : sources) {
+    const BfsResult bfs = bfs_levels(g, s0);
+    if (bfs.num_levels < 3) continue;
+    // Count vertices per level.
+    std::vector<index_t> count(static_cast<std::size_t>(bfs.num_levels), 0);
+    for (const index_t l : bfs.level) ++count[static_cast<std::size_t>(l)];
+    index_t below = count[0];
+    for (index_t m = 1; m + 1 < bfs.num_levels; ++m) {
+      const index_t ns = count[static_cast<std::size_t>(m)];
+      const index_t na = below;
+      const index_t nb = n - na - ns;
+      below += ns;
+      if (na == 0 || nb == 0) continue;
+      const double balance =
+          static_cast<double>(std::min(na, nb)) / static_cast<double>(na + nb);
+      const bool feasible = balance >= opts.balance_frac;
+      // Prefer feasible splits with the smallest separator; among infeasible
+      // candidates keep the most balanced as a fallback.
+      if (feasible) {
+        if (ns < best_cost || (ns == best_cost && balance > best_balance)) {
+          best_cost = ns;
+          best_balance = balance;
+          best.a.clear();
+          best.b.clear();
+          best.s.clear();
+          for (index_t v = 0; v < n; ++v) {
+            const index_t l = bfs.level[static_cast<std::size_t>(v)];
+            if (l < m) best.a.push_back(v);
+            else if (l == m) best.s.push_back(v);
+            else best.b.push_back(v);
+          }
+        }
+      } else if (best_cost > n && balance > best_balance) {
+        best_balance = balance;
+        best.a.clear();
+        best.b.clear();
+        best.s.clear();
+        for (index_t v = 0; v < n; ++v) {
+          const index_t l = bfs.level[static_cast<std::size_t>(v)];
+          if (l < m) best.a.push_back(v);
+          else if (l == m) best.s.push_back(v);
+          else best.b.push_back(v);
+        }
+      }
+    }
+  }
+
+  if (best.a.empty() && best.b.empty()) return best;  // no split found
+
+  // Shrink the separator: a separator vertex with no neighbor on one side
+  // can move to the other side without reconnecting A and B.
+  std::vector<char> side(static_cast<std::size_t>(n), 2);  // 0=A, 1=B, 2=S
+  for (const index_t v : best.a) side[static_cast<std::size_t>(v)] = 0;
+  for (const index_t v : best.b) side[static_cast<std::size_t>(v)] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (index_t v = 0; v < n; ++v) {
+      if (side[static_cast<std::size_t>(v)] != 2) continue;
+      bool touches_a = false;
+      bool touches_b = false;
+      for (const index_t* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        const char su = side[static_cast<std::size_t>(*u)];
+        touches_a |= (su == 0);
+        touches_b |= (su == 1);
+      }
+      if (!touches_a && !touches_b) {
+        // Isolated from both parts: put it on the smaller side.
+        side[static_cast<std::size_t>(v)] = (best.a.size() <= best.b.size()) ? 0 : 1;
+        changed = true;
+      } else if (!touches_b) {
+        side[static_cast<std::size_t>(v)] = 0;
+        changed = true;
+      } else if (!touches_a) {
+        side[static_cast<std::size_t>(v)] = 1;
+        changed = true;
+      }
+    }
+  }
+  // FM-style refinement: moving a separator vertex v into part P removes it
+  // from S but pulls v's neighbors from the *other* part into S, so the
+  // separator shrinks whenever v has at most one such neighbor. Greedy
+  // positive-gain passes with a balance guard.
+  for (int pass = 0; pass < opts.fm_passes; ++pass) {
+    bool improved = false;
+    index_t na = 0, nb = 0;
+    for (index_t v = 0; v < n; ++v) {
+      na += side[static_cast<std::size_t>(v)] == 0;
+      nb += side[static_cast<std::size_t>(v)] == 1;
+    }
+    for (index_t v = 0; v < n; ++v) {
+      if (side[static_cast<std::size_t>(v)] != 2) continue;
+      index_t in_a = 0, in_b = 0;
+      for (const index_t* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        in_a += side[static_cast<std::size_t>(*u)] == 0;
+        in_b += side[static_cast<std::size_t>(*u)] == 1;
+      }
+      const index_t gain_to_a = 1 - in_b;  // separator-size reduction
+      const index_t gain_to_b = 1 - in_a;
+      // Pick the better strictly-improving move; prefer growing the smaller
+      // part on ties to keep the recursion balanced.
+      int dest = -1;
+      if (gain_to_a > 0 && (gain_to_a > gain_to_b || (gain_to_a == gain_to_b && na <= nb))) {
+        dest = 0;
+      } else if (gain_to_b > 0) {
+        dest = 1;
+      }
+      if (dest < 0) continue;
+      side[static_cast<std::size_t>(v)] = static_cast<char>(dest);
+      (dest == 0 ? na : nb) += 1;
+      // Opposite-side neighbors join the separator.
+      for (const index_t* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        if (side[static_cast<std::size_t>(*u)] == (dest == 0 ? 1 : 0)) {
+          side[static_cast<std::size_t>(*u)] = 2;
+          (dest == 0 ? nb : na) -= 1;
+        }
+      }
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  // Rebuild the three sets from the final side assignment.
+  best.a.clear();
+  best.b.clear();
+  best.s.clear();
+  for (index_t v = 0; v < n; ++v) {
+    switch (side[static_cast<std::size_t>(v)]) {
+      case 0: best.a.push_back(v); break;
+      case 1: best.b.push_back(v); break;
+      default: best.s.push_back(v); break;
+    }
+  }
+  // Refinement can empty a side on tiny graphs; callers treat that as
+  // "no usable separator".
+  return best;
+}
+
+Ordering nested_dissection(const sparse::Graph& g, const NdOptions& opts) {
+  BLR_CHECK(opts.cmin >= 1, "cmin must be >= 1");
+  const index_t n = g.num_vertices();
+  Ordering out;
+  out.perm.reserve(static_cast<std::size_t>(n));
+  out.ranges.push_back(0);
+
+  // Emits one supernode holding `vertices` (global ids), ordered for locality.
+  const auto emit_supernode = [&](const std::vector<index_t>& vertices, bool reorder) {
+    if (vertices.empty()) return;
+    if (reorder && vertices.size() > 2) {
+      const sparse::Graph sub = g.induced(vertices);
+      for (const index_t local : bfs_order(sub)) {
+        out.perm.push_back(vertices[static_cast<std::size_t>(local)]);
+      }
+    } else {
+      out.perm.insert(out.perm.end(), vertices.begin(), vertices.end());
+    }
+    out.ranges.push_back(static_cast<index_t>(out.perm.size()));
+  };
+
+  const std::function<void(const std::vector<index_t>&)> dissect =
+      [&](const std::vector<index_t>& vertices) {
+        const index_t k = static_cast<index_t>(vertices.size());
+        if (k == 0) return;
+        if (k <= opts.cmin) {
+          emit_supernode(vertices, true);
+          return;
+        }
+        const sparse::Graph sub = g.induced(vertices);
+        const auto [comp, ncomp] = sub.connected_components();
+        if (ncomp > 1) {
+          // Dissect each connected component independently.
+          std::vector<std::vector<index_t>> groups(static_cast<std::size_t>(ncomp));
+          for (index_t v = 0; v < k; ++v) {
+            groups[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])].push_back(
+                vertices[static_cast<std::size_t>(v)]);
+          }
+          for (const auto& grp : groups) dissect(grp);
+          return;
+        }
+        const Separator sep = find_separator(sub, opts);
+        if (sep.a.empty() || sep.b.empty()) {
+          emit_supernode(vertices, true);  // dense-ish subgraph, keep whole
+          return;
+        }
+        const auto to_global = [&](const std::vector<index_t>& local) {
+          std::vector<index_t> glob(local.size());
+          for (std::size_t i = 0; i < local.size(); ++i)
+            glob[i] = vertices[static_cast<std::size_t>(local[i])];
+          return glob;
+        };
+        dissect(to_global(sep.a));
+        dissect(to_global(sep.b));
+        emit_supernode(to_global(sep.s), opts.reorder_separators);
+      };
+
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), index_t{0});
+  dissect(all);
+
+  BLR_CHECK(static_cast<index_t>(out.perm.size()) == n, "ordering lost vertices");
+  out.iperm.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    out.iperm[static_cast<std::size_t>(out.perm[static_cast<std::size_t>(i)])] = i;
+  return out;
+}
+
+Ordering natural_order(index_t n, index_t chunk) {
+  BLR_CHECK(chunk >= 1, "chunk must be >= 1");
+  Ordering out;
+  out.perm.resize(static_cast<std::size_t>(n));
+  std::iota(out.perm.begin(), out.perm.end(), index_t{0});
+  out.iperm = out.perm;
+  out.ranges.push_back(0);
+  for (index_t r = chunk; r < n; r += chunk) out.ranges.push_back(r);
+  out.ranges.push_back(n);
+  return out;
+}
+
+} // namespace blr::ordering

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace blr::sparse {
+
+/// Numerical symmetry classes relevant to the solver: the paper's method
+/// requires a symmetric *pattern*; values may be general (LU path) or the
+/// matrix may be SPD (Cholesky path).
+enum class Symmetry {
+  General,           ///< symmetric pattern, general values -> LU
+  SymmetricValues,   ///< symmetric values, possibly indefinite -> LU
+  Spd,               ///< symmetric positive definite -> Cholesky
+};
+
+/// Triplet (COO) entry used to assemble matrices.
+struct Triplet {
+  index_t row;
+  index_t col;
+  real_t value;
+};
+
+/// Compressed Sparse Column matrix with sorted row indices per column.
+class CscMatrix {
+public:
+  CscMatrix() = default;
+  CscMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols),
+      colptr_(static_cast<std::size_t>(cols) + 1, 0) {}
+
+  /// Assemble from triplets; duplicate entries are summed.
+  static CscMatrix from_triplets(index_t rows, index_t cols,
+                                 std::vector<Triplet> triplets,
+                                 Symmetry sym = Symmetry::General);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t nnz() const { return static_cast<index_t>(rowind_.size()); }
+  [[nodiscard]] Symmetry symmetry() const { return sym_; }
+  void set_symmetry(Symmetry s) { sym_ = s; }
+
+  [[nodiscard]] const std::vector<index_t>& colptr() const { return colptr_; }
+  [[nodiscard]] const std::vector<index_t>& rowind() const { return rowind_; }
+  [[nodiscard]] const std::vector<real_t>& values() const { return values_; }
+  [[nodiscard]] std::vector<real_t>& values() { return values_; }
+
+  /// Entry lookup by binary search; returns 0 for entries outside the pattern.
+  [[nodiscard]] real_t at(index_t i, index_t j) const;
+
+  /// y = A·x  (or y = Aᵗ·x when transpose).
+  void spmv(const real_t* x, real_t* y, bool transpose = false) const;
+
+  /// Returns Aᵗ (pattern and values).
+  [[nodiscard]] CscMatrix transposed() const;
+
+  /// True when the nonzero pattern is symmetric (required by the solver).
+  [[nodiscard]] bool pattern_symmetric() const;
+
+  /// Returns P·A·Pᵗ for the permutation `perm` (perm[new] = old).
+  [[nodiscard]] CscMatrix permuted(const std::vector<index_t>& perm) const;
+
+  /// Dense copy (tests / small examples only).
+  [[nodiscard]] la::DMatrix to_dense() const;
+
+  /// Frobenius norm of the stored values.
+  [[nodiscard]] real_t norm_fro() const;
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  Symmetry sym_ = Symmetry::General;
+  std::vector<index_t> colptr_;
+  std::vector<index_t> rowind_;
+  std::vector<real_t> values_;
+};
+
+/// ||A·x - b||_2 / ||b||_2 — the backward error the paper reports.
+real_t backward_error(const CscMatrix& a, const real_t* x, const real_t* b);
+
+} // namespace blr::sparse

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace blr::sparse {
+
+/// 7-point finite-difference Laplacian on an nx x ny x nz grid (SPD).
+/// This is the paper's `lapN` family (lap120 = laplacian_3d(120,120,120)).
+CscMatrix laplacian_3d(index_t nx, index_t ny, index_t nz);
+
+/// 5-point Laplacian on an nx x ny grid (SPD).
+CscMatrix laplacian_2d(index_t nx, index_t ny);
+
+/// Nonsymmetric convection–diffusion operator: 7-point stencil of
+/// -Δu + c·∇u (central differences). The pattern is symmetric, values are
+/// not; |peclet| < 1 keeps the operator nonsingular and well conditioned.
+/// Surrogate for the *atmosmodj* atmospheric-model matrix.
+CscMatrix convection_diffusion_3d(index_t nx, index_t ny, index_t nz, real_t peclet);
+
+/// 3-dof-per-node vector "elasticity-like" operator on a 3D grid: each grid
+/// edge along axis d carries the SPD coupling block
+///   K_d = mu·I3 + (lambda + mu)·e_d·e_dᵗ,
+/// assembled graph-Laplacian style plus a small mass term. SPD, with the
+/// higher per-block ranks typical of structural matrices.
+/// Surrogate for the *audi* / *hook* structural matrices.
+CscMatrix elasticity_3d(index_t nx, index_t ny, index_t nz, real_t lambda = 1.0,
+                        real_t mu = 1.0);
+
+/// Poisson operator with log-uniform random cell coefficients spanning
+/// `contrast` orders of magnitude (harmonic-mean edge weights). SPD and
+/// much harder to compress than the constant-coefficient Laplacian.
+/// Surrogate for the *serena* / *geo1438* reservoir & geomechanics matrices.
+CscMatrix heterogeneous_poisson_3d(index_t nx, index_t ny, index_t nz,
+                                   real_t contrast, std::uint64_t seed);
+
+/// Named test-set entry mirroring the paper's six matrices at a
+/// node-feasible scale factor (grid dimension `n` per axis).
+struct TestMatrix {
+  std::string name;        ///< paper matrix it stands in for
+  CscMatrix matrix;
+  bool spd;                ///< Cholesky-eligible
+};
+
+/// The 6-matrix evaluation set of Section 4 of the paper, scaled to `n`
+/// grid points per axis (the paper's originals are ~1e6 dofs; pass the
+/// largest n the machine affords).
+std::vector<TestMatrix> paper_test_set(index_t n);
+
+} // namespace blr::sparse

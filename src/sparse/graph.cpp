@@ -1,0 +1,81 @@
+#include "sparse/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/csc.hpp"
+
+namespace blr::sparse {
+
+Graph Graph::from_matrix(const CscMatrix& a) {
+  BLR_CHECK(a.rows() == a.cols(), "adjacency graph requires a square matrix");
+  const index_t n = a.rows();
+  // Symmetrize pattern: edge (i,j) if a(i,j) or a(j,i) nonzero, i != j.
+  std::vector<std::vector<index_t>> nbr(static_cast<std::size_t>(n));
+  const auto& colptr = a.colptr();
+  const auto& rowind = a.rowind();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = colptr[static_cast<std::size_t>(j)];
+         p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t i = rowind[static_cast<std::size_t>(p)];
+      if (i == j) continue;
+      nbr[static_cast<std::size_t>(i)].push_back(j);
+      nbr[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  std::vector<index_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> adj;
+  for (index_t v = 0; v < n; ++v) {
+    auto& list = nbr[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    ptr[static_cast<std::size_t>(v) + 1] = ptr[static_cast<std::size_t>(v)] +
+                                           static_cast<index_t>(list.size());
+    adj.insert(adj.end(), list.begin(), list.end());
+  }
+  return Graph(n, std::move(ptr), std::move(adj));
+}
+
+Graph Graph::induced(const std::vector<index_t>& vertices) const {
+  const index_t k = static_cast<index_t>(vertices.size());
+  // global -> local map (-1 = outside).
+  std::vector<index_t> local(static_cast<std::size_t>(n_), -1);
+  for (index_t i = 0; i < k; ++i) local[static_cast<std::size_t>(vertices[static_cast<std::size_t>(i)])] = i;
+
+  std::vector<index_t> ptr(static_cast<std::size_t>(k) + 1, 0);
+  std::vector<index_t> adj;
+  for (index_t i = 0; i < k; ++i) {
+    const index_t g = vertices[static_cast<std::size_t>(i)];
+    for (const index_t* u = neighbors_begin(g); u != neighbors_end(g); ++u) {
+      const index_t lu = local[static_cast<std::size_t>(*u)];
+      if (lu >= 0) adj.push_back(lu);
+    }
+    ptr[static_cast<std::size_t>(i) + 1] = static_cast<index_t>(adj.size());
+  }
+  return Graph(k, std::move(ptr), std::move(adj));
+}
+
+std::pair<std::vector<index_t>, index_t> Graph::connected_components() const {
+  std::vector<index_t> comp(static_cast<std::size_t>(n_), -1);
+  index_t ncomp = 0;
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < n_; ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    stack.push_back(s);
+    comp[static_cast<std::size_t>(s)] = ncomp;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (const index_t* u = neighbors_begin(v); u != neighbors_end(v); ++u) {
+        if (comp[static_cast<std::size_t>(*u)] < 0) {
+          comp[static_cast<std::size_t>(*u)] = ncomp;
+          stack.push_back(*u);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return {std::move(comp), ncomp};
+}
+
+} // namespace blr::sparse

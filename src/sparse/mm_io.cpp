@@ -1,0 +1,93 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace blr::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+} // namespace
+
+CscMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  BLR_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market(in);
+}
+
+CscMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  BLR_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  BLR_CHECK(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  BLR_CHECK(lower(object) == "matrix", "only 'matrix' objects are supported");
+  BLR_CHECK(lower(format) == "coordinate", "only coordinate format is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  BLR_CHECK(field == "real" || field == "integer" || field == "pattern",
+            "unsupported field type: " + field);
+  BLR_CHECK(symmetry == "general" || symmetry == "symmetric",
+            "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  BLR_CHECK(rows > 0 && cols > 0, "invalid Matrix Market dimensions");
+
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(entries) * (symmetry == "symmetric" ? 2 : 1));
+  for (index_t e = 0; e < entries; ++e) {
+    index_t i = 0, j = 0;
+    real_t v = 1.0;
+    in >> i >> j;
+    if (field != "pattern") in >> v;
+    BLR_CHECK(static_cast<bool>(in), "truncated Matrix Market entries");
+    --i;  // 1-based -> 0-based
+    --j;
+    trip.push_back({i, j, v});
+    if (symmetry == "symmetric" && i != j) trip.push_back({j, i, v});
+  }
+  const Symmetry sym = (symmetry == "symmetric") ? Symmetry::SymmetricValues
+                                                 : Symmetry::General;
+  return CscMatrix::from_triplets(rows, cols, std::move(trip), sym);
+}
+
+void write_matrix_market(const CscMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  BLR_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(a, out);
+}
+
+void write_matrix_market(const CscMatrix& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  const auto& colptr = a.colptr();
+  const auto& rowind = a.rowind();
+  const auto& values = a.values();
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = colptr[static_cast<std::size_t>(j)];
+         p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      out << rowind[static_cast<std::size_t>(p)] + 1 << ' ' << j + 1 << ' '
+          << values[static_cast<std::size_t>(p)] << '\n';
+    }
+  }
+}
+
+} // namespace blr::sparse

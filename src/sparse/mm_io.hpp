@@ -1,0 +1,19 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace blr::sparse {
+
+/// Read a Matrix Market file (coordinate, real/integer/pattern,
+/// general/symmetric). Symmetric storage is expanded to both triangles.
+CscMatrix read_matrix_market(const std::string& path);
+CscMatrix read_matrix_market(std::istream& in);
+
+/// Write in coordinate/real/general format.
+void write_matrix_market(const CscMatrix& a, const std::string& path);
+void write_matrix_market(const CscMatrix& a, std::ostream& out);
+
+} // namespace blr::sparse

@@ -1,0 +1,60 @@
+#include "symbolic/amalgamation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace blr::symbolic {
+
+std::vector<index_t> amalgamate(const sparse::CscMatrix& a,
+                                const ordering::Ordering& ord,
+                                std::vector<index_t> ranges,
+                                const AmalgamationOptions& opts) {
+  BLR_CHECK(opts.frat >= 0, "frat must be non-negative");
+  if (ranges.size() <= 2) return ranges;
+
+  // Fill budget is relative to the *initial* block structure.
+  const SymbolicFactor sf0 = SymbolicFactor::build(a, ord, ranges);
+  const double budget =
+      opts.frat * static_cast<double>(sf0.factor_entries_lower());
+  double spent = 0;
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    const SymbolicFactor sf = SymbolicFactor::build(a, ord, ranges);
+    const index_t ncblk = sf.num_cblks();
+
+    // Greedy non-overlapping merge of (child, parent = child + 1) pairs.
+    std::vector<char> merged_into_next(static_cast<std::size_t>(ncblk), 0);
+    bool any = false;
+    for (index_t k = 0; k + 1 < ncblk; ++k) {
+      if (merged_into_next[static_cast<std::size_t>(k)]) continue;
+      const Cblk& c = sf.cblk(k);
+      if (c.parent != k + 1) continue;           // parent must be range-adjacent
+      if (c.width() >= opts.min_width) continue; // only merge small supernodes
+      const Cblk& p = sf.cblk(c.parent);
+
+      // Added explicit zeros when c's columns adopt the merged structure:
+      // before: wc^2 + hc*wc  (c)  +  wp^2 + hp*wp  (p)
+      // after : (wc+wp)^2 + hp*(wc+wp)
+      const double wc = static_cast<double>(c.width());
+      const double wp = static_cast<double>(p.width());
+      const double hc = static_cast<double>(c.height());
+      const double hp = static_cast<double>(p.height());
+      const double added = wc * (2 * wp + hp - hc);
+      if (spent + added > budget) continue;
+
+      spent += added;
+      merged_into_next[static_cast<std::size_t>(k)] = 1;
+      // Lock the parent for this pass so chains merge one link per pass and
+      // every decision uses a consistent structure.
+      if (k + 2 < ncblk) merged_into_next[static_cast<std::size_t>(k + 1)] = 1;
+      any = true;
+      // Drop the boundary between cblk k and k+1.
+      ranges.erase(std::find(ranges.begin(), ranges.end(), c.lcol));
+    }
+    if (!any) break;
+  }
+  return ranges;
+}
+
+} // namespace blr::symbolic

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "symbolic/symbolic.hpp"
+
+namespace blr::symbolic {
+
+/// Supernode amalgamation options, mirroring the Scotch parameters the paper
+/// uses (§4: "columns aggregation is allowed by Scotch as long as the
+/// fill-in introduced does not exceed 8% of the original matrix").
+struct AmalgamationOptions {
+  double frat = 0.08;        ///< total added zeros <= frat * initial structure entries
+  index_t min_width = 64;    ///< only supernodes narrower than this are merged
+  int max_passes = 8;        ///< structural fixpoint cap
+};
+
+/// Merge small supernodes into their elimination-tree parent when the parent
+/// is range-adjacent (the common case for separator chains produced by
+/// nested dissection) and the added explicit zeros stay within the fill
+/// budget. Returns the new (still contiguous, elimination-ordered) ranges.
+std::vector<index_t> amalgamate(const sparse::CscMatrix& a,
+                                const ordering::Ordering& ord,
+                                std::vector<index_t> ranges,
+                                const AmalgamationOptions& opts = {});
+
+} // namespace blr::symbolic

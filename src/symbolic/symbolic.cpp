@@ -1,0 +1,164 @@
+#include "symbolic/symbolic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace blr::symbolic {
+
+std::vector<index_t> split_ranges(const std::vector<index_t>& ranges,
+                                  const SplitOptions& opts) {
+  BLR_CHECK(opts.split_size >= 1 && opts.split_threshold >= opts.split_size,
+            "invalid split options");
+  std::vector<index_t> out;
+  out.push_back(ranges.front());
+  for (std::size_t s = 0; s + 1 < ranges.size(); ++s) {
+    const index_t begin = ranges[s];
+    const index_t end = ranges[s + 1];
+    const index_t width = end - begin;
+    if (width <= opts.split_threshold) {
+      out.push_back(end);
+      continue;
+    }
+    // Balanced chunks, each at least split_size wide.
+    const index_t nchunks = std::max<index_t>(1, width / opts.split_size);
+    const index_t base = width / nchunks;
+    const index_t extra = width % nchunks;
+    index_t pos = begin;
+    for (index_t c = 0; c < nchunks; ++c) {
+      pos += base + (c < extra ? 1 : 0);
+      out.push_back(pos);
+    }
+    BLR_CHECK(pos == end, "split bookkeeping error");
+  }
+  return out;
+}
+
+SymbolicFactor SymbolicFactor::build(const sparse::CscMatrix& a,
+                                     const ordering::Ordering& ord,
+                                     const std::vector<index_t>& ranges) {
+  BLR_CHECK(a.rows() == a.cols(), "symbolic factorization requires a square matrix");
+  const index_t n = a.rows();
+  BLR_CHECK(static_cast<index_t>(ord.perm.size()) == n, "ordering size mismatch");
+  BLR_CHECK(!ranges.empty() && ranges.front() == 0 && ranges.back() == n,
+            "ranges must cover [0, n)");
+
+  SymbolicFactor sf;
+  sf.n_ = n;
+  const index_t ncblk = static_cast<index_t>(ranges.size()) - 1;
+  sf.cblks_.resize(static_cast<std::size_t>(ncblk));
+  sf.row2cblk_.resize(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < ncblk; ++k) {
+    auto& c = sf.cblks_[static_cast<std::size_t>(k)];
+    c.fcol = ranges[static_cast<std::size_t>(k)];
+    c.lcol = ranges[static_cast<std::size_t>(k) + 1];
+    BLR_CHECK(c.lcol > c.fcol, "empty supernode range");
+    for (index_t i = c.fcol; i < c.lcol; ++i) sf.row2cblk_[static_cast<std::size_t>(i)] = k;
+  }
+
+  // Block symbolic elimination on the supernodal elimination tree:
+  //   R(k) = belowDiag(A columns of k)  U  (contributions from children)
+  //   parent(k) = cblk of min R(k);   contribute R(k) \ cols(parent) upward.
+  const auto& colptr = a.colptr();
+  const auto& rowind = a.rowind();
+  std::vector<std::vector<index_t>> pending(static_cast<std::size_t>(ncblk));
+
+  for (index_t k = 0; k < ncblk; ++k) {
+    auto& c = sf.cblks_[static_cast<std::size_t>(k)];
+    std::vector<index_t> rows = std::move(pending[static_cast<std::size_t>(k)]);
+    pending[static_cast<std::size_t>(k)].clear();
+    pending[static_cast<std::size_t>(k)].shrink_to_fit();
+
+    for (index_t jnew = c.fcol; jnew < c.lcol; ++jnew) {
+      const index_t jold = ord.perm[static_cast<std::size_t>(jnew)];
+      for (index_t p = colptr[static_cast<std::size_t>(jold)];
+           p < colptr[static_cast<std::size_t>(jold) + 1]; ++p) {
+        const index_t inew = ord.iperm[static_cast<std::size_t>(
+            rowind[static_cast<std::size_t>(p)])];
+        if (inew >= c.lcol) rows.push_back(inew);
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+    // Convert the sorted row set into contiguous bloks split at cblk borders.
+    for (std::size_t p = 0; p < rows.size();) {
+      const index_t start = rows[p];
+      const index_t owner = sf.row2cblk_[static_cast<std::size_t>(start)];
+      index_t end = start + 1;
+      ++p;
+      while (p < rows.size() && rows[p] == end &&
+             sf.row2cblk_[static_cast<std::size_t>(rows[p])] == owner) {
+        ++end;
+        ++p;
+      }
+      c.bloks.push_back({start, end, owner});
+    }
+
+    if (!rows.empty()) {
+      const index_t parent = sf.row2cblk_[static_cast<std::size_t>(rows.front())];
+      c.parent = parent;
+      const index_t plcol = sf.cblks_[static_cast<std::size_t>(parent)].lcol;
+      auto& dest = pending[static_cast<std::size_t>(parent)];
+      for (const index_t r : rows) {
+        if (r >= plcol) dest.push_back(r);
+      }
+      // Keep pending sets deduplicated to bound memory on wide fan-ins.
+      std::sort(dest.begin(), dest.end());
+      dest.erase(std::unique(dest.begin(), dest.end()), dest.end());
+    }
+  }
+  return sf;
+}
+
+index_t SymbolicFactor::find_blok(index_t c, index_t frow, index_t lrow) const {
+  const auto& bloks = cblks_[static_cast<std::size_t>(c)].bloks;
+  // Binary search for the blok whose interval contains [frow, lrow).
+  index_t lo = 0;
+  index_t hi = static_cast<index_t>(bloks.size()) - 1;
+  while (lo <= hi) {
+    const index_t mid = (lo + hi) / 2;
+    const Blok& b = bloks[static_cast<std::size_t>(mid)];
+    if (frow < b.frow) hi = mid - 1;
+    else if (frow >= b.lrow) lo = mid + 1;
+    else {
+      BLR_CHECK(lrow <= b.lrow, "update interval crosses blok boundary");
+      return mid;
+    }
+  }
+  throw Error("find_blok: interval not found in symbolic structure");
+}
+
+index_t SymbolicFactor::num_bloks() const {
+  index_t n = 0;
+  for (const auto& c : cblks_) n += static_cast<index_t>(c.bloks.size());
+  return n;
+}
+
+std::size_t SymbolicFactor::factor_entries_lower() const {
+  std::size_t e = 0;
+  for (const auto& c : cblks_) {
+    const auto w = static_cast<std::size_t>(c.width());
+    e += w * w + static_cast<std::size_t>(c.height()) * w;
+  }
+  return e;
+}
+
+std::size_t SymbolicFactor::factor_entries_lu() const {
+  std::size_t e = 0;
+  for (const auto& c : cblks_) {
+    const auto w = static_cast<std::size_t>(c.width());
+    e += w * w + 2 * static_cast<std::size_t>(c.height()) * w;
+  }
+  return e;
+}
+
+double SymbolicFactor::average_blok_height() const {
+  const index_t nb = num_bloks();
+  if (nb == 0) return 0.0;
+  index_t h = 0;
+  for (const auto& c : cblks_) h += c.height();
+  return static_cast<double>(h) / static_cast<double>(nb);
+}
+
+} // namespace blr::symbolic

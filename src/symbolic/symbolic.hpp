@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ordering/ordering.hpp"
+#include "sparse/csc.hpp"
+
+namespace blr::symbolic {
+
+/// Supernode splitting parameters (the paper splits column blocks wider than
+/// 256 into chunks of at least 128 to create parallelism while keeping
+/// blocks large enough for BLAS-3 / compression).
+struct SplitOptions {
+  index_t split_threshold = 256;
+  index_t split_size = 128;
+};
+
+/// Split every supernode range wider than `split_threshold` into balanced
+/// chunks of at least `split_size` columns.
+std::vector<index_t> split_ranges(const std::vector<index_t>& ranges,
+                                  const SplitOptions& opts);
+
+/// One off-diagonal block of a column block: the contiguous row interval
+/// [frow, lrow) — entirely inside the column range of `fcblk` — of both the
+/// L panel and (for LU) the transposed U panel.
+struct Blok {
+  index_t frow;   ///< first row (inclusive, permuted numbering)
+  index_t lrow;   ///< last row (exclusive)
+  index_t fcblk;  ///< column block owning these rows
+
+  [[nodiscard]] index_t height() const { return lrow - frow; }
+};
+
+/// One column block (supernode chunk) of the factor.
+struct Cblk {
+  index_t fcol;               ///< first column (inclusive)
+  index_t lcol;               ///< last column (exclusive)
+  std::vector<Blok> bloks;    ///< off-diagonal blocks, ascending by frow
+  index_t parent = -1;        ///< parent in the supernodal elimination tree
+
+  [[nodiscard]] index_t width() const { return lcol - fcol; }
+  [[nodiscard]] index_t height() const {
+    index_t h = 0;
+    for (const auto& b : bloks) h += b.height();
+    return h;
+  }
+};
+
+/// Block symbolic structure of the factors: the exact (at block granularity)
+/// pattern of L (and Uᵗ, identical under the symmetric-pattern assumption).
+class SymbolicFactor {
+public:
+  /// Computes the block structure for matrix `a` under ordering `ord` with
+  /// the final (already split) supernode ranges.
+  static SymbolicFactor build(const sparse::CscMatrix& a,
+                              const ordering::Ordering& ord,
+                              const std::vector<index_t>& ranges);
+
+  [[nodiscard]] index_t num_cblks() const { return static_cast<index_t>(cblks_.size()); }
+  [[nodiscard]] index_t n() const { return n_; }
+  [[nodiscard]] const Cblk& cblk(index_t k) const { return cblks_[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] const std::vector<Cblk>& cblks() const { return cblks_; }
+
+  /// Column block owning (permuted) row/column index i.
+  [[nodiscard]] index_t cblk_of(index_t i) const { return row2cblk_[static_cast<std::size_t>(i)]; }
+
+  /// Index (within cblk c's blok list) of the blok containing rows
+  /// [frow, lrow); the structure guarantees containment for valid updates.
+  [[nodiscard]] index_t find_blok(index_t c, index_t frow, index_t lrow) const;
+
+  // ---- structure statistics (Figure 1 / DESIGN reporting) ----
+  [[nodiscard]] index_t num_bloks() const;
+  /// Scalar nonzeros of the dense-block storage of L (diag blocks counted
+  /// full, as the solver stores them).
+  [[nodiscard]] std::size_t factor_entries_lower() const;
+  /// Same for L + U (LU factorizations store both panels).
+  [[nodiscard]] std::size_t factor_entries_lu() const;
+  [[nodiscard]] double average_blok_height() const;
+
+private:
+  index_t n_ = 0;
+  std::vector<Cblk> cblks_;
+  std::vector<index_t> row2cblk_;
+};
+
+} // namespace blr::symbolic

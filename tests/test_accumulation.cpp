@@ -1,0 +1,95 @@
+// Tests of LUAR-style update accumulation (the aggregation of small
+// contributions the paper's conclusion proposes for Minimal-Memory).
+
+#include <gtest/gtest.h>
+
+#include "blr.hpp"
+
+namespace {
+
+using namespace blr;
+using sparse::CscMatrix;
+
+SolverOptions mm_opts(bool accumulate) {
+  SolverOptions o;
+  o.strategy = Strategy::MinimalMemory;
+  o.tolerance = 1e-8;
+  o.compress_min_width = 16;
+  o.compress_min_height = 8;
+  o.split.split_threshold = 64;
+  o.split.split_size = 32;
+  o.accumulate_updates = accumulate;
+  return o;
+}
+
+TEST(Accumulation, SameSolutionAsImmediateUpdates) {
+  for (const auto& a :
+       {sparse::laplacian_3d(10, 10, 10),
+        sparse::convection_diffusion_3d(8, 8, 8, 0.5),
+        sparse::heterogeneous_poisson_3d(9, 9, 9, 3.0, 4)}) {
+    Prng rng(21);
+    std::vector<real_t> b(static_cast<std::size_t>(a.rows()));
+    for (auto& v : b) v = rng.normal();
+
+    Solver s0(mm_opts(false)), s1(mm_opts(true));
+    s0.factorize(a);
+    s1.factorize(a);
+    std::vector<real_t> x0(b.size()), x1(b.size());
+    s0.solve(b.data(), x0.data());
+    s1.solve(b.data(), x1.data());
+    // Both are tau-accurate; they need not match bit-for-bit (different
+    // recompression points), but both must meet the tolerance contract.
+    EXPECT_LT(sparse::backward_error(a, x0.data(), b.data()), 1e-4);
+    EXPECT_LT(sparse::backward_error(a, x1.data(), b.data()), 1e-4);
+  }
+}
+
+TEST(Accumulation, ParallelCorrectness) {
+  const CscMatrix a = sparse::laplacian_3d(10, 10, 10);
+  Prng rng(22);
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b) v = rng.normal();
+  SolverOptions o = mm_opts(true);
+  o.threads = 4;
+  for (int rep = 0; rep < 4; ++rep) {
+    Solver s(o);
+    s.factorize(a);
+    std::vector<real_t> x(b.size());
+    s.solve(b.data(), x.data());
+    ASSERT_LT(sparse::backward_error(a, x.data(), b.data()), 1e-4) << rep;
+  }
+}
+
+TEST(Accumulation, SmallMaxRankFlushesOften) {
+  const CscMatrix a = sparse::laplacian_3d(9, 9, 9);
+  SolverOptions o = mm_opts(true);
+  o.accumulate_max_rank = 2;  // flush on nearly every append
+  Solver s(o);
+  s.factorize(a);
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  const auto x = s.solve(b);
+  EXPECT_LT(sparse::backward_error(a, x.data(), b.data()), 1e-4);
+}
+
+TEST(Accumulation, LeftLookingCombination) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  SolverOptions o = mm_opts(true);
+  o.scheduling = core::Scheduling::LeftLooking;
+  Solver s(o);
+  s.factorize(a);
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  const auto x = s.solve(b);
+  EXPECT_LT(sparse::backward_error(a, x.data(), b.data()), 1e-4);
+}
+
+TEST(Accumulation, WorkspaceReturnsToZero) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  Solver s(mm_opts(true));
+  s.factorize(a);
+  // All accumulators were flushed at elimination; their workspace bytes are
+  // gone once the factorization ends (only the permuted-input copy remains
+  // for nothing — right-looking releases it too).
+  EXPECT_EQ(MemoryTracker::instance().current(MemCategory::Workspace), 0u);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+// Tests of supernode amalgamation: structural validity, fill budget, and
+// the performance-relevant effect (fewer, larger column blocks).
+
+#include <gtest/gtest.h>
+
+#include "ordering/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph.hpp"
+#include "core/solver.hpp"
+#include "symbolic/amalgamation.hpp"
+
+namespace {
+
+using namespace blr;
+using namespace blr::symbolic;
+using sparse::CscMatrix;
+
+TEST(Amalgamation, RangesStayAValidPartition) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const auto merged = amalgamate(a, ord, ord.ranges);
+  ASSERT_GE(merged.size(), 2u);
+  EXPECT_EQ(merged.front(), 0);
+  EXPECT_EQ(merged.back(), a.rows());
+  for (std::size_t s = 1; s < merged.size(); ++s) EXPECT_LT(merged[s - 1], merged[s]);
+  // Every merged boundary must be a subset of the original boundaries.
+  for (const index_t r : merged) {
+    EXPECT_NE(std::find(ord.ranges.begin(), ord.ranges.end(), r), ord.ranges.end());
+  }
+}
+
+TEST(Amalgamation, ReducesSupernodeCount) {
+  const CscMatrix a = sparse::laplacian_3d(10, 10, 10);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const auto merged = amalgamate(a, ord, ord.ranges);
+  EXPECT_LT(merged.size(), ord.ranges.size());
+}
+
+TEST(Amalgamation, RespectsFillBudget) {
+  const CscMatrix a = sparse::laplacian_3d(9, 9, 9);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const auto sf0 = SymbolicFactor::build(a, ord, ord.ranges);
+
+  AmalgamationOptions opts;
+  opts.frat = 0.08;
+  const auto merged = amalgamate(a, ord, ord.ranges, opts);
+  const auto sf1 = SymbolicFactor::build(a, ord, merged);
+  const double growth = static_cast<double>(sf1.factor_entries_lower()) /
+                        static_cast<double>(sf0.factor_entries_lower());
+  EXPECT_LE(growth, 1.0 + opts.frat + 1e-9);
+}
+
+TEST(Amalgamation, ZeroBudgetIsIdentity) {
+  const CscMatrix a = sparse::laplacian_3d(7, 7, 7);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  AmalgamationOptions opts;
+  opts.frat = 0.0;
+  const auto merged = amalgamate(a, ord, ord.ranges, opts);
+  // Only merges with a *negative or zero* fill delta may happen; the
+  // structure size must not grow at all.
+  const auto sf0 = SymbolicFactor::build(a, ord, ord.ranges);
+  const auto sf1 = SymbolicFactor::build(a, ord, merged);
+  EXPECT_LE(sf1.factor_entries_lower(), sf0.factor_entries_lower());
+}
+
+TEST(Amalgamation, SolverStillCorrectWithAmalgamation) {
+  const CscMatrix a = sparse::laplacian_3d(10, 10, 10);
+  for (const bool amal : {false, true}) {
+    blr::core::SolverOptions opts;
+    opts.strategy = blr::core::Strategy::JustInTime;
+    opts.amalgamate = amal;
+    opts.compress_min_width = 16;
+    opts.compress_min_height = 8;
+    blr::core::Solver solver(opts);
+    solver.factorize(a);
+    std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+    const auto x = solver.solve(b);
+    EXPECT_LT(sparse::backward_error(a, x.data(), b.data()), 1e-6) << amal;
+  }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+// Tests of the matrix generators, including the properties that make each a
+// faithful surrogate for its paper counterpart (SPD-ness, nonsymmetric
+// values on a symmetric pattern, coefficient contrast).
+
+#include <gtest/gtest.h>
+
+#include "linalg/factorizations.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace blr;
+using namespace blr::sparse;
+
+TEST(Laplacian3d, DimensionsAndStencilCounts) {
+  const CscMatrix a = laplacian_3d(4, 3, 2);
+  EXPECT_EQ(a.rows(), 24);
+  EXPECT_TRUE(a.pattern_symmetric());
+  // nnz = n + 2 * #edges; edges = (nx-1)nynz + nx(ny-1)nz + nxny(nz-1).
+  const index_t edges = 3 * 3 * 2 + 4 * 2 * 2 + 4 * 3 * 1;
+  EXPECT_EQ(a.nnz(), 24 + 2 * edges);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+}
+
+TEST(Laplacian3d, IsPositiveDefinite) {
+  const CscMatrix a = laplacian_3d(4, 4, 4);
+  la::DMatrix d = a.to_dense();
+  EXPECT_EQ(la::potrf(d.view()), 0);
+  EXPECT_EQ(a.symmetry(), Symmetry::Spd);
+}
+
+TEST(Laplacian2d, FivePointStencil) {
+  const CscMatrix a = laplacian_2d(3, 3);
+  EXPECT_EQ(a.rows(), 9);
+  EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0);  // center vertex
+  EXPECT_DOUBLE_EQ(a.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);
+}
+
+TEST(ConvectionDiffusion, SymmetricPatternNonsymmetricValues) {
+  const CscMatrix a = convection_diffusion_3d(4, 4, 4, 0.5);
+  EXPECT_TRUE(a.pattern_symmetric());
+  EXPECT_NE(a.at(0, 1), a.at(1, 0));  // upwind/downwind differ
+  EXPECT_DOUBLE_EQ(a.at(0, 1) + a.at(1, 0), -2.0);  // -(1-p) + -(1+p)
+  EXPECT_EQ(a.symmetry(), Symmetry::General);
+}
+
+TEST(ConvectionDiffusion, RejectsUnstablePeclet) {
+  EXPECT_THROW(convection_diffusion_3d(2, 2, 2, 1.5), Error);
+}
+
+TEST(Elasticity3d, ThreeDofsPerNodeAndSpd) {
+  const CscMatrix a = elasticity_3d(3, 3, 3, 2.0, 1.0);
+  EXPECT_EQ(a.rows(), 81);
+  EXPECT_TRUE(a.pattern_symmetric());
+  la::DMatrix d = a.to_dense();
+  EXPECT_EQ(la::potrf(d.view()), 0);
+}
+
+TEST(Elasticity3d, AxisCouplingIsStifferAlongAxis) {
+  const CscMatrix a = elasticity_3d(2, 1, 1, 3.0, 1.0);
+  // Edge along x: dof 0 (x displacement) coupling = -(mu + lambda + mu) = -5,
+  // dof 1 (y) coupling = -mu = -1.
+  EXPECT_DOUBLE_EQ(a.at(0, 3), -5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 4), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 5), -1.0);
+}
+
+TEST(HeterogeneousPoisson, SpdAndDeterministic) {
+  const CscMatrix a = heterogeneous_poisson_3d(3, 3, 3, 4.0, 123);
+  const CscMatrix b = heterogeneous_poisson_3d(3, 3, 3, 4.0, 123);
+  EXPECT_EQ(a.values(), b.values());
+  la::DMatrix d = a.to_dense();
+  EXPECT_EQ(la::potrf(d.view()), 0);
+}
+
+TEST(HeterogeneousPoisson, ContrastWidensCoefficientRange) {
+  const CscMatrix lo = heterogeneous_poisson_3d(4, 4, 4, 0.0, 1);
+  const CscMatrix hi = heterogeneous_poisson_3d(4, 4, 4, 6.0, 1);
+  const auto minmax_offdiag = [](const CscMatrix& m) {
+    real_t lo = 1e300, hi = 0;
+    const auto& cp = m.colptr();
+    const auto& ri = m.rowind();
+    const auto& v = m.values();
+    for (index_t j = 0; j < m.cols(); ++j) {
+      for (index_t p = cp[static_cast<std::size_t>(j)];
+           p < cp[static_cast<std::size_t>(j) + 1]; ++p) {
+        if (ri[static_cast<std::size_t>(p)] == j) continue;
+        const real_t w = std::abs(v[static_cast<std::size_t>(p)]);
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
+      }
+    }
+    return std::pair{lo, hi};
+  };
+  const auto [llo, lhi] = minmax_offdiag(lo);
+  const auto [hlo, hhi] = minmax_offdiag(hi);
+  EXPECT_LT(lhi / llo, 1.01);       // contrast 0: constant coefficients
+  EXPECT_GT(hhi / hlo, 100.0);      // contrast 6: orders of magnitude spread
+}
+
+TEST(PaperTestSet, HasSixNamedMatrices) {
+  const auto set = paper_test_set(6);
+  ASSERT_EQ(set.size(), 6u);
+  EXPECT_EQ(set[0].name, "lap6");
+  EXPECT_EQ(set[1].name, "atmosmodj");
+  EXPECT_FALSE(set[1].spd);
+  for (const auto& tm : set) {
+    EXPECT_GT(tm.matrix.rows(), 0);
+    EXPECT_TRUE(tm.matrix.pattern_symmetric()) << tm.name;
+    EXPECT_EQ(tm.spd, tm.matrix.symmetry() == Symmetry::Spd) << tm.name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+// Unit tests for the dense matrix container and views.
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace blr;
+using namespace blr::la;
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  DMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, ElementAccessIsColumnMajor) {
+  DMatrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+}
+
+TEST(Matrix, ViewSharesStorage) {
+  DMatrix m(3, 3);
+  DView v = m.view();
+  v(1, 2) = 7.5;
+  EXPECT_EQ(m(1, 2), 7.5);
+}
+
+TEST(Matrix, SubViewOffsetsAndStride) {
+  DMatrix m(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<real_t>(10 * i + j);
+  DView s = m.sub(1, 2, 2, 2);
+  EXPECT_EQ(s.rows, 2);
+  EXPECT_EQ(s.cols, 2);
+  EXPECT_EQ(s(0, 0), m(1, 2));
+  EXPECT_EQ(s(1, 1), m(2, 3));
+  EXPECT_EQ(s.ld, 4);
+  s(0, 1) = -1;
+  EXPECT_EQ(m(1, 3), -1);
+}
+
+TEST(Matrix, CopyFromStridedView) {
+  DMatrix m(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) m(i, j) = static_cast<real_t>(i + 4 * j);
+  DMatrix c(m.cview().sub(1, 1, 3, 2));
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.ld(), 3);  // compacted
+  EXPECT_EQ(c(0, 0), m(1, 1));
+  EXPECT_EQ(c(2, 1), m(3, 2));
+}
+
+TEST(Matrix, FillAndIdentity) {
+  DMatrix m(3, 5);
+  fill(m.view(), 2.5);
+  EXPECT_EQ(m(2, 4), 2.5);
+  set_identity(m.view());
+  EXPECT_EQ(m(1, 1), 1.0);
+  EXPECT_EQ(m(1, 2), 0.0);
+  EXPECT_EQ(m(2, 2), 1.0);
+}
+
+TEST(Matrix, TransposeRectangular) {
+  DMatrix m(2, 3);
+  m(0, 1) = 5;
+  m(1, 2) = 7;
+  DMatrix t(3, 2);
+  transpose<real_t>(m.cview(), t.view());
+  EXPECT_EQ(t(1, 0), 5);
+  EXPECT_EQ(t(2, 1), 7);
+}
+
+TEST(Matrix, CopyBetweenViews) {
+  DMatrix a(3, 3);
+  a(1, 1) = 4;
+  DMatrix b(3, 3);
+  copy<real_t>(a.cview(), b.view());
+  EXPECT_EQ(b(1, 1), 4);
+}
+
+TEST(Matrix, ReshapeZeroes) {
+  DMatrix m(2, 2);
+  m(0, 0) = 9;
+  m.reshape(5, 1);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, EmptyMatrixIsSafe) {
+  DMatrix m(0, 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0);
+  DMatrix n(3, 0);
+  EXPECT_TRUE(n.empty());
+}
+
+TEST(Matrix, AssignChecksShape) {
+  DMatrix a(2, 2);
+  DMatrix b(3, 3);
+  EXPECT_THROW(a.assign(b.cview()), Error);
+}
+
+TEST(Matrix, FloatInstantiationWorks) {
+  Matrix<float> m(2, 2);
+  m(0, 0) = 1.5f;
+  Matrix<float> t(2, 2);
+  transpose<float>(m.cview(), t.view());
+  EXPECT_EQ(t(0, 0), 1.5f);
+}
+
+} // namespace

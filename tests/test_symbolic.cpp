@@ -1,0 +1,175 @@
+// Tests of the block symbolic factorization: the structure must contain all
+// numeric fill, bloks must be well formed, and splitting must respect its
+// size constraints.
+
+#include <gtest/gtest.h>
+
+#include "linalg/factorizations.hpp"
+#include "ordering/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace {
+
+using namespace blr;
+using namespace blr::symbolic;
+using sparse::CscMatrix;
+
+SymbolicFactor build_for(const CscMatrix& a, const ordering::Ordering& ord,
+                         SplitOptions split = {}) {
+  return SymbolicFactor::build(a, ord, split_ranges(ord.ranges, split));
+}
+
+TEST(SplitRanges, LeavesSmallRangesAlone) {
+  const std::vector<index_t> r{0, 100, 300};
+  const auto out = split_ranges(r, SplitOptions{256, 128});
+  EXPECT_EQ(out, r);
+}
+
+TEST(SplitRanges, SplitsWideRangesIntoBalancedChunks) {
+  const std::vector<index_t> r{0, 1000};
+  const auto out = split_ranges(r, SplitOptions{256, 128});
+  ASSERT_GT(out.size(), 2u);
+  EXPECT_EQ(out.front(), 0);
+  EXPECT_EQ(out.back(), 1000);
+  for (std::size_t s = 1; s < out.size(); ++s) {
+    const index_t w = out[s] - out[s - 1];
+    EXPECT_GE(w, 125);  // ~1000/7 chunks, all >= split_size with balancing
+    EXPECT_LE(w, 256);
+  }
+}
+
+TEST(SplitRanges, ExactMultiple) {
+  const std::vector<index_t> r{0, 512};
+  const auto out = split_ranges(r, SplitOptions{256, 128});
+  ASSERT_EQ(out.size(), 5u);  // 4 chunks of 128
+  for (std::size_t s = 1; s < out.size(); ++s) EXPECT_EQ(out[s] - out[s - 1], 128);
+}
+
+TEST(SplitRanges, RejectsInvalidOptions) {
+  EXPECT_THROW(split_ranges({0, 10}, SplitOptions{64, 128}), Error);
+}
+
+TEST(Symbolic, BlokInvariants) {
+  const CscMatrix a = sparse::laplacian_3d(7, 7, 7);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+
+  for (index_t k = 0; k < sf.num_cblks(); ++k) {
+    const Cblk& c = sf.cblk(k);
+    EXPECT_LT(c.fcol, c.lcol);
+    index_t prev_end = c.lcol;
+    for (const Blok& b : c.bloks) {
+      EXPECT_GE(b.frow, prev_end);       // sorted, below diagonal, disjoint
+      EXPECT_LT(b.frow, b.lrow);
+      // Blok entirely inside its target cblk's column range.
+      const Cblk& t = sf.cblk(b.fcblk);
+      EXPECT_GE(b.frow, t.fcol);
+      EXPECT_LE(b.lrow, t.lcol);
+      EXPECT_EQ(sf.cblk_of(b.frow), b.fcblk);
+      prev_end = b.lrow;
+    }
+    if (!c.bloks.empty()) {
+      // Parent is the owner of the first below-diagonal row.
+      EXPECT_EQ(c.parent, c.bloks.front().fcblk);
+      EXPECT_GT(c.parent, k);
+    }
+  }
+}
+
+TEST(Symbolic, StructureContainsAllNumericFill) {
+  const CscMatrix a = sparse::laplacian_3d(6, 6, 6);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+
+  // Dense Cholesky of the permuted matrix: every nonzero of L must lie
+  // inside the block structure.
+  la::DMatrix d = a.permuted(ord.perm).to_dense();
+  ASSERT_EQ(la::potrf(d.view()), 0);
+  const index_t n = a.rows();
+  index_t outside = 0;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t cj = sf.cblk_of(j);
+    const Cblk& c = sf.cblk(cj);
+    for (index_t i = j + 1; i < n; ++i) {
+      if (std::abs(d(i, j)) < 1e-12) continue;
+      if (i < c.lcol) continue;  // inside the dense diagonal block
+      bool found = false;
+      for (const Blok& b : c.bloks) {
+        if (i >= b.frow && i < b.lrow) {
+          found = true;
+          break;
+        }
+      }
+      outside += !found;
+    }
+  }
+  EXPECT_EQ(outside, 0);
+}
+
+TEST(Symbolic, StructureContainsOriginalPattern) {
+  const CscMatrix a = sparse::convection_diffusion_3d(5, 5, 5, 0.4);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+  const CscMatrix ap = a.permuted(ord.perm);
+
+  for (index_t j = 0; j < ap.cols(); ++j) {
+    const Cblk& c = sf.cblk(sf.cblk_of(j));
+    for (index_t p = ap.colptr()[static_cast<std::size_t>(j)];
+         p < ap.colptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t i = ap.rowind()[static_cast<std::size_t>(p)];
+      if (i < c.lcol) continue;  // diag block or upper triangle (mirrored)
+      EXPECT_NO_THROW(sf.find_blok(sf.cblk_of(j), i, i + 1));
+    }
+  }
+}
+
+TEST(Symbolic, FindBlokLocatesAndRejects) {
+  const CscMatrix a = sparse::laplacian_2d(10, 10);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+
+  // Pick a cblk with bloks and query its first blok exactly.
+  for (index_t k = 0; k < sf.num_cblks(); ++k) {
+    const Cblk& c = sf.cblk(k);
+    if (c.bloks.empty()) continue;
+    const Blok& b = c.bloks.front();
+    EXPECT_EQ(sf.find_blok(k, b.frow, b.lrow), 0);
+    // A row below every blok must throw.
+    EXPECT_THROW(sf.find_blok(k, sf.n() + 5, sf.n() + 6), Error);
+    break;
+  }
+}
+
+TEST(Symbolic, StatsAreConsistent) {
+  const CscMatrix a = sparse::laplacian_3d(6, 6, 6);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+  EXPECT_GT(sf.num_bloks(), 0);
+  EXPECT_GT(sf.average_blok_height(), 0.0);
+  // LU stores L and U panels: entries = diag + 2*offdiag.
+  const std::size_t lower = sf.factor_entries_lower();
+  const std::size_t lu = sf.factor_entries_lu();
+  std::size_t diag = 0;
+  for (const auto& c : sf.cblks())
+    diag += static_cast<std::size_t>(c.width()) * static_cast<std::size_t>(c.width());
+  EXPECT_EQ(lu, 2 * lower - diag);
+}
+
+TEST(Symbolic, LastCblkHasNoBloks) {
+  const CscMatrix a = sparse::laplacian_3d(5, 5, 5);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  const SymbolicFactor sf = build_for(a, ord);
+  EXPECT_TRUE(sf.cblk(sf.num_cblks() - 1).bloks.empty());
+  EXPECT_EQ(sf.cblk(sf.num_cblks() - 1).parent, -1);
+}
+
+TEST(Symbolic, RejectsBadRanges) {
+  const CscMatrix a = sparse::laplacian_2d(4, 4);
+  const auto ord = ordering::nested_dissection(sparse::Graph::from_matrix(a));
+  EXPECT_THROW(SymbolicFactor::build(a, ord, {0, 5}), Error);       // not covering
+  EXPECT_THROW(SymbolicFactor::build(a, ord, {1, 16}), Error);      // not starting at 0
+}
+
+} // namespace
