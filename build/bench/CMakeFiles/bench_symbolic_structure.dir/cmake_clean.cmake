@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symbolic_structure.dir/bench_symbolic_structure.cpp.o"
+  "CMakeFiles/bench_symbolic_structure.dir/bench_symbolic_structure.cpp.o.d"
+  "bench_symbolic_structure"
+  "bench_symbolic_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symbolic_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtx_solve.dir/mtx_solve.cpp.o"
+  "CMakeFiles/mtx_solve.dir/mtx_solve.cpp.o.d"
+  "mtx_solve"
+  "mtx_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtx_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preconditioner.dir/preconditioner.cpp.o"
+  "CMakeFiles/preconditioner.dir/preconditioner.cpp.o.d"
+  "preconditioner"
+  "preconditioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

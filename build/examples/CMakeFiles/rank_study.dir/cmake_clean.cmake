@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_study.dir/rank_study.cpp.o"
+  "CMakeFiles/rank_study.dir/rank_study.cpp.o.d"
+  "rank_study"
+  "rank_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_common.dir/kernel_stats.cpp.o"
+  "CMakeFiles/blr_common.dir/kernel_stats.cpp.o.d"
+  "CMakeFiles/blr_common.dir/memory_tracker.cpp.o"
+  "CMakeFiles/blr_common.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/blr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/blr_common.dir/thread_pool.cpp.o.d"
+  "libblr_common.a"
+  "libblr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/numeric.cpp" "src/core/CMakeFiles/blr_core.dir/numeric.cpp.o" "gcc" "src/core/CMakeFiles/blr_core.dir/numeric.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/core/CMakeFiles/blr_core.dir/refinement.cpp.o" "gcc" "src/core/CMakeFiles/blr_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/blr_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/blr_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/blr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/blr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/blr_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/blr_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowrank/CMakeFiles/blr_lowrank.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

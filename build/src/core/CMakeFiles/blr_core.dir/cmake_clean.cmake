@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_core.dir/numeric.cpp.o"
+  "CMakeFiles/blr_core.dir/numeric.cpp.o.d"
+  "CMakeFiles/blr_core.dir/refinement.cpp.o"
+  "CMakeFiles/blr_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/blr_core.dir/solver.cpp.o"
+  "CMakeFiles/blr_core.dir/solver.cpp.o.d"
+  "libblr_core.a"
+  "libblr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_linalg.dir/blas.cpp.o"
+  "CMakeFiles/blr_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/blr_linalg.dir/factorizations.cpp.o"
+  "CMakeFiles/blr_linalg.dir/factorizations.cpp.o.d"
+  "CMakeFiles/blr_linalg.dir/norms.cpp.o"
+  "CMakeFiles/blr_linalg.dir/norms.cpp.o.d"
+  "CMakeFiles/blr_linalg.dir/qr.cpp.o"
+  "CMakeFiles/blr_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/blr_linalg.dir/svd.cpp.o"
+  "CMakeFiles/blr_linalg.dir/svd.cpp.o.d"
+  "libblr_linalg.a"
+  "libblr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblr_linalg.a"
+)

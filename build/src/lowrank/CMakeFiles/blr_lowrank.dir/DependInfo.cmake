@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowrank/compression.cpp" "src/lowrank/CMakeFiles/blr_lowrank.dir/compression.cpp.o" "gcc" "src/lowrank/CMakeFiles/blr_lowrank.dir/compression.cpp.o.d"
+  "/root/repo/src/lowrank/kernels.cpp" "src/lowrank/CMakeFiles/blr_lowrank.dir/kernels.cpp.o" "gcc" "src/lowrank/CMakeFiles/blr_lowrank.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/blr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

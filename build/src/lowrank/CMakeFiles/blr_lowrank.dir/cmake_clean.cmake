@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_lowrank.dir/compression.cpp.o"
+  "CMakeFiles/blr_lowrank.dir/compression.cpp.o.d"
+  "CMakeFiles/blr_lowrank.dir/kernels.cpp.o"
+  "CMakeFiles/blr_lowrank.dir/kernels.cpp.o.d"
+  "libblr_lowrank.a"
+  "libblr_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_ordering.dir/ordering.cpp.o"
+  "CMakeFiles/blr_ordering.dir/ordering.cpp.o.d"
+  "libblr_ordering.a"
+  "libblr_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

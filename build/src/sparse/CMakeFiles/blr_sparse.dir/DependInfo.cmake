@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csc.cpp" "src/sparse/CMakeFiles/blr_sparse.dir/csc.cpp.o" "gcc" "src/sparse/CMakeFiles/blr_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/blr_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/blr_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/graph.cpp" "src/sparse/CMakeFiles/blr_sparse.dir/graph.cpp.o" "gcc" "src/sparse/CMakeFiles/blr_sparse.dir/graph.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/sparse/CMakeFiles/blr_sparse.dir/mm_io.cpp.o" "gcc" "src/sparse/CMakeFiles/blr_sparse.dir/mm_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/blr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_sparse.dir/csc.cpp.o"
+  "CMakeFiles/blr_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/blr_sparse.dir/generators.cpp.o"
+  "CMakeFiles/blr_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/blr_sparse.dir/graph.cpp.o"
+  "CMakeFiles/blr_sparse.dir/graph.cpp.o.d"
+  "CMakeFiles/blr_sparse.dir/mm_io.cpp.o"
+  "CMakeFiles/blr_sparse.dir/mm_io.cpp.o.d"
+  "libblr_sparse.a"
+  "libblr_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

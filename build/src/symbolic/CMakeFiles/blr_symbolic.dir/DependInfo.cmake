@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/amalgamation.cpp" "src/symbolic/CMakeFiles/blr_symbolic.dir/amalgamation.cpp.o" "gcc" "src/symbolic/CMakeFiles/blr_symbolic.dir/amalgamation.cpp.o.d"
+  "/root/repo/src/symbolic/symbolic.cpp" "src/symbolic/CMakeFiles/blr_symbolic.dir/symbolic.cpp.o" "gcc" "src/symbolic/CMakeFiles/blr_symbolic.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/blr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/blr_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/blr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

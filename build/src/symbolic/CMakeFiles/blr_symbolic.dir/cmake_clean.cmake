@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_symbolic.dir/amalgamation.cpp.o"
+  "CMakeFiles/blr_symbolic.dir/amalgamation.cpp.o.d"
+  "CMakeFiles/blr_symbolic.dir/symbolic.cpp.o"
+  "CMakeFiles/blr_symbolic.dir/symbolic.cpp.o.d"
+  "libblr_symbolic.a"
+  "libblr_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amalgamation.dir/test_amalgamation.cpp.o"
+  "CMakeFiles/test_amalgamation.dir/test_amalgamation.cpp.o.d"
+  "test_amalgamation"
+  "test_amalgamation.pdb"
+  "test_amalgamation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amalgamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

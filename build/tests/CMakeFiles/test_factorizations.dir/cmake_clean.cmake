@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factorizations.dir/test_factorizations.cpp.o"
+  "CMakeFiles/test_factorizations.dir/test_factorizations.cpp.o.d"
+  "test_factorizations"
+  "test_factorizations.pdb"
+  "test_factorizations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factorizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

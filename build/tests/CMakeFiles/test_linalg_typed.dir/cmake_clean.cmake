@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_typed.dir/test_linalg_typed.cpp.o"
+  "CMakeFiles/test_linalg_typed.dir/test_linalg_typed.cpp.o.d"
+  "test_linalg_typed"
+  "test_linalg_typed.pdb"
+  "test_linalg_typed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multirhs_and_scheduling.dir/test_multirhs_and_scheduling.cpp.o"
+  "CMakeFiles/test_multirhs_and_scheduling.dir/test_multirhs_and_scheduling.cpp.o.d"
+  "test_multirhs_and_scheduling"
+  "test_multirhs_and_scheduling.pdb"
+  "test_multirhs_and_scheduling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multirhs_and_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

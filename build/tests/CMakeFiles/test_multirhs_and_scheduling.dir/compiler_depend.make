@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_multirhs_and_scheduling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_pivoting.dir/test_static_pivoting.cpp.o"
+  "CMakeFiles/test_static_pivoting.dir/test_static_pivoting.cpp.o.d"
+  "test_static_pivoting"
+  "test_static_pivoting.pdb"
+  "test_static_pivoting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_pivoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

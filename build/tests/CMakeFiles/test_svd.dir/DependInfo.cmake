@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_svd.cpp" "tests/CMakeFiles/test_svd.dir/test_svd.cpp.o" "gcc" "tests/CMakeFiles/test_svd.dir/test_svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/blr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/blr_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/blr_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/blr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowrank/CMakeFiles/blr_lowrank.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/blr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_factorizations[1]_include.cmake")
+include("/root/repo/build/tests/test_qr[1]_include.cmake")
+include("/root/repo/build/tests/test_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_lr_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_refinement[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_amalgamation[1]_include.cmake")
+include("/root/repo/build/tests/test_multirhs_and_scheduling[1]_include.cmake")
+include("/root/repo/build/tests/test_static_pivoting[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg_typed[1]_include.cmake")
+include("/root/repo/build/tests/test_accumulation[1]_include.cmake")
+include("/root/repo/build/tests/test_random_graphs[1]_include.cmake")
