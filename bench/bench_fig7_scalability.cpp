@@ -4,10 +4,58 @@
 // {1e-4, 1e-8, 1e-12}. Shape to reproduce: the dense curve grows fastest;
 // looser tolerances flatten both the factor size and the peak, which is
 // what let the paper run 12M unknowns in 128 GB.
+//
+// Second section (beyond the paper's figure): parallel scheduler A/B on the
+// largest generator problem of the sweep — factorization wall time of the
+// work-stealing priority scheduler vs the legacy shared queue per thread
+// count, with the steal/idle counters the pool collects.
+
+#include <algorithm>
 
 #include "bench_common.hpp"
 
 using namespace bench;
+
+namespace {
+
+void scheduler_ab(const sparse::CscMatrix& a, index_t n) {
+  print_header("Figure 7b — scheduler A/B (JIT/RRQR), largest problem of the sweep");
+  std::printf("problem: lap %lld^3, %lld dofs\n\n", static_cast<long long>(n),
+              static_cast<long long>(a.rows()));
+  std::printf("%8s | %12s | %12s | %8s | %24s\n", "threads", "shared s",
+              "stealing s", "speedup", "steals/empty/sleeps");
+
+  std::vector<int> counts = {1, 2, 4, 8};
+  const int hw = env_threads();
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end() && hw > 1) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+
+  for (const int threads : counts) {
+    SolverOptions o = paper_options(Strategy::JustInTime,
+                                    lr::CompressionKind::Rrqr, 1e-8);
+    o.threads = threads;
+
+    o.scheduler = SchedulerKind::SharedQueue;
+    const RunResult shared = run_solver(a, o);
+
+    o.scheduler = SchedulerKind::WorkStealing;
+    Solver keep(o);
+    const RunResult stealing = run_solver(a, o, &keep);
+    const auto& st = keep.stats();
+
+    std::printf("%8d | %12.3f | %12.3f | %7.2fx | %10llu/%llu/%llu\n", threads,
+                shared.factorization_time, stealing.factorization_time,
+                shared.factorization_time / stealing.factorization_time,
+                static_cast<unsigned long long>(st.scheduler_steals),
+                static_cast<unsigned long long>(st.scheduler_failed_steals),
+                static_cast<unsigned long long>(st.scheduler_idle_sleeps));
+    std::fflush(stdout);
+  }
+}
+
+} // namespace
 
 int main() {
   const index_t nmax = env_index("BLR_BENCH_N", 52);
@@ -17,7 +65,9 @@ int main() {
               "dense fact/peak MB", "t=1e-4 fact/peak", "t=1e-8 fact/peak",
               "t=1e-12 fact/peak");
 
+  index_t nlast = 12;
   for (index_t n = 12; n <= nmax; n += 8) {
+    nlast = n;
     const auto a = sparse::laplacian_3d(n, n, n);
     std::printf("%3lld^3   %10lld |", static_cast<long long>(n),
                 static_cast<long long>(a.rows()));
@@ -36,5 +86,7 @@ int main() {
     std::printf("\n");
     std::fflush(stdout);
   }
+
+  scheduler_ab(sparse::laplacian_3d(nlast, nlast, nlast), nlast);
   return 0;
 }

@@ -29,7 +29,12 @@ double KernelStats::seconds(Kernel k) const {
 double KernelStats::total_seconds() const {
   double s = 0;
   for (int i = 0; i < kN; ++i) {
-    if (i == static_cast<int>(Kernel::Solve)) continue;  // not part of facto total
+    // Solve is a separate phase and scheduler idle time is overhead, not
+    // kernel work: neither belongs to the factorization total.
+    if (i == static_cast<int>(Kernel::Solve) ||
+        i == static_cast<int>(Kernel::SchedulerIdle)) {
+      continue;
+    }
     s += static_cast<double>(nanos_[i].load(std::memory_order_relaxed)) * 1e-9;
   }
   return s;
@@ -48,6 +53,7 @@ std::string KernelStats::kernel_name(Kernel k) {
     case Kernel::LrAddition: return "LR addition";
     case Kernel::DenseUpdate: return "Dense update";
     case Kernel::Solve: return "Solve";
+    case Kernel::SchedulerIdle: return "Scheduler idle";
     default: return "?";
   }
 }

@@ -16,6 +16,7 @@ enum class Kernel : int {
   LrAddition,          ///< LR2LR extend-add recompression
   DenseUpdate,         ///< dense GEMM update (dense solver + LR2GE target add)
   Solve,               ///< triangular solves (forward/backward)
+  SchedulerIdle,       ///< worker spin/steal backoff time (not part of facto total)
   kCount
 };
 

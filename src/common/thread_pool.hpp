@@ -1,9 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -11,44 +15,152 @@
 
 namespace blr {
 
-/// Fixed-size worker pool with a shared task queue.
+/// Task scheduler flavour of the worker pool.
+enum class SchedulerKind {
+  /// Per-worker Chase–Lev deques (LIFO local push/pop, FIFO random steal)
+  /// plus a priority heap for submissions from non-worker threads. This is
+  /// the default: the numeric factorization submits supernode eliminations
+  /// with their critical-path priority and lets idle workers steal.
+  WorkStealing,
+  /// The original single mutex-protected FIFO queue. Kept so benches can
+  /// A/B the schedulers; ignores task priorities.
+  SharedQueue,
+};
+
+const char* scheduler_name(SchedulerKind k);
+
+/// Fixed-size worker pool executing the solver's elimination task graph.
 ///
-/// This is the execution substrate for the solver's static scheduler: the
-/// numeric factorization enqueues one task per ready supernode and tasks
-/// enqueue their successors when dependency counters drain, mirroring the
-/// static-scheduling design of PaStiX.
+/// Two scheduling substrates are available behind the same interface (see
+/// SchedulerKind). Both keep the same guarantees: submit() never blocks,
+/// tasks may submit further tasks, and wait_idle() returns only once every
+/// transitively submitted task has finished.
 class ThreadPool {
 public:
+  /// Per-worker scheduler counters (monotonic until reset_stats()).
+  struct WorkerStats {
+    std::uint64_t executed = 0;       ///< tasks run by this worker
+    std::uint64_t steals = 0;         ///< tasks taken from another worker's deque
+    std::uint64_t failed_steals = 0;  ///< full victim sweeps that found nothing
+    std::uint64_t idle_sleeps = 0;    ///< times the worker blocked after backoff
+  };
+
   /// Creates @p num_threads workers. 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(int num_threads = 0);
+  explicit ThreadPool(int num_threads = 0,
+                      SchedulerKind kind = SchedulerKind::WorkStealing);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Schedule a task. Never blocks.
-  void submit(std::function<void()> task);
+  /// Schedule a task. Never blocks. Larger @p priority runs earlier among
+  /// tasks waiting in the injection heap (work-stealing scheduler only;
+  /// worker-local submissions run LIFO, which already favours the chain the
+  /// submitting task just extended).
+  void submit(std::function<void()> task, std::int64_t priority = 0);
 
   /// Block until every submitted task (including tasks submitted by running
-  /// tasks) has finished.
+  /// tasks) has finished. Must be called from outside the pool.
   void wait_idle();
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] SchedulerKind kind() const { return kind_; }
 
   /// Run f(i) for i in [0, n) across the pool and wait for completion.
-  /// Work is chunked to limit queue traffic.
+  /// Work is chunked to limit queue traffic. Safe to call from inside a
+  /// running task (the caller participates instead of blocking the pool).
   void parallel_for(index_t n, const std::function<void(index_t)>& f);
 
-private:
-  void worker_loop();
+  /// Dense worker index of the calling thread in its pool, or -1 when the
+  /// caller is not a pool worker.
+  static int current_worker();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+  /// Sum of worker_stats() over all workers.
+  [[nodiscard]] WorkerStats total_stats() const;
+  void reset_stats();
+
+private:
+  struct Task {
+    std::function<void()> fn;
+    std::int64_t priority = 0;
+    std::uint64_t seq = 0;  ///< submission order, FIFO tie-break in the heap
+  };
+
+  /// Chase–Lev work-stealing deque of Task pointers. The owning worker
+  /// pushes/pops at the bottom (LIFO); thieves steal from the top (FIFO).
+  /// Grows by doubling; retired arrays are kept until destruction so
+  /// concurrent thieves never read freed memory.
+  class Deque {
+  public:
+    Deque();
+    ~Deque();
+    void push(Task* t);          ///< owner only
+    Task* pop();                 ///< owner only
+    Task* steal();               ///< any thread
+    [[nodiscard]] bool maybe_nonempty() const;
+
+  private:
+    struct Slots {
+      explicit Slots(std::int64_t c)
+          : cap(c), mask(c - 1), buf(new std::atomic<Task*>[static_cast<std::size_t>(c)]) {}
+      std::int64_t cap;
+      std::int64_t mask;
+      std::unique_ptr<std::atomic<Task*>[]> buf;
+    };
+    Slots* grow(Slots* a, std::int64_t top, std::int64_t bottom);
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Slots*> slots_;
+    std::vector<Slots*> retired_;  ///< owner-only; freed in the destructor
+  };
+
+  struct alignas(64) Worker {
+    Deque deque;
+    std::uint64_t rng = 0;  ///< victim-selection state, worker-local
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> idle_sleeps{0};
+  };
+
+  void worker_loop(int id);
+  void run_task(Task* t, Worker& me);
+  Task* pop_injected();
+  Task* try_steal(int id, Worker& me);
+  [[nodiscard]] bool has_work() const;
+  void wake_sleepers();
+
+  struct HeapCmp {
+    bool operator()(const Task* a, const Task* b) const {
+      if (a->priority != b->priority) return a->priority < b->priority;
+      return a->seq > b->seq;  // equal priority: submission order
+    }
+  };
+
+  SchedulerKind kind_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Injection heap (work-stealing): submissions from non-worker threads.
+  std::mutex inject_mutex_;
+  std::priority_queue<Task*, std::vector<Task*>, HeapCmp> inject_;
+  std::atomic<std::int64_t> inject_count_{0};
+
+  // Shared FIFO (SchedulerKind::SharedQueue).
+  std::mutex shared_mutex_;
+  std::condition_variable cv_shared_;
+  std::deque<Task*> shared_;
+
+  // Sleep / wake / idle protocol (work-stealing) and idle wait (both kinds).
+  std::mutex sleep_mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  index_t pending_ = 0;  // queued + running tasks
-  bool stop_ = false;
+  std::atomic<int> sleepers_{0};
+  std::atomic<index_t> pending_{0};  ///< queued + running tasks
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 } // namespace blr

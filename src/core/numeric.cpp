@@ -1,8 +1,8 @@
 #include "core/numeric.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
-#include <thread>
 
 #include "common/error.hpp"
 #include "common/kernel_stats.hpp"
@@ -193,8 +193,12 @@ void NumericFactor::factorize(ThreadPool* pool) {
       ready.push_back(k);
     }
   }
+  // Submit with critical-path priorities: among the (many) initially-ready
+  // leaves the scheduler picks the one heading the most expensive chain to
+  // the root first, which keeps the elimination tree's critical path moving.
+  const auto& prio = sf_.critical_priorities();
   for (const index_t k : ready) {
-    pool->submit([this, k] { eliminate(k); });
+    pool->submit([this, k] { eliminate(k); }, prio[static_cast<std::size_t>(k)]);
   }
   pool->wait_idle();
   pool_ = nullptr;
@@ -245,17 +249,41 @@ void NumericFactor::eliminate(index_t k) {
   try {
     factor_panel(k);
 
-    // Right-looking updates on the trailing supernodes.
+    // Right-looking updates on the trailing supernodes. Large panels are
+    // split into 1D column-blok segments submitted as subtasks, so the
+    // updates of one huge supernode spread across the pool instead of
+    // pinning a single worker (work-stealing scheduler only: a subtask
+    // storm on the shared queue just adds contention).
     const symbolic::Cblk& c = sf_.cblk(k);
     const index_t nb = static_cast<index_t>(c.bloks.size());
-    for (index_t j = 0; j < nb; ++j) {
-      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
-        const index_t target = apply_update(k, i, j);
-        const index_t left =
-            deps_[static_cast<std::size_t>(target)].fetch_sub(1,
-                                                              std::memory_order_acq_rel) - 1;
-        if (left == 0 && pool_ != nullptr) {
-          pool_->submit([this, target] { eliminate(target); });
+    const bool split = pool_ != nullptr &&
+                       pool_->kind() == SchedulerKind::WorkStealing &&
+                       opts_.panel_split_rows > 0 && nb >= 2 &&
+                       c.height() >= opts_.panel_split_rows;
+    if (!split) {
+      update_range(k, 0, nb);
+    } else {
+      const index_t height = c.height();
+      index_t nseg = std::min<index_t>(
+          nb, (height + opts_.panel_split_rows - 1) / opts_.panel_split_rows);
+      nseg = std::min<index_t>(nseg, 4 * pool_->size());
+      // Greedy row-balanced segmentation of the column bloks.
+      const index_t per = (height + nseg - 1) / nseg;
+      const std::int64_t pr =
+          sf_.critical_priorities()[static_cast<std::size_t>(k)];
+      index_t jb = 0;
+      index_t acc = 0;
+      for (index_t j = 0; j < nb; ++j) {
+        acc += c.bloks[static_cast<std::size_t>(j)].height();
+        if (acc >= per || j == nb - 1) {
+          const index_t je = j + 1;
+          if (jb == 0 && je == nb) {
+            update_range(k, 0, nb);  // degenerate single segment
+          } else {
+            pool_->submit([this, k, jb, je] { update_range(k, jb, je); }, pr);
+          }
+          jb = je;
+          acc = 0;
         }
       }
     }
@@ -266,9 +294,35 @@ void NumericFactor::eliminate(index_t k) {
   }
   if (opts_.collect_trace) {
     const double t1 = trace_clock_.elapsed();
-    const std::size_t worker = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const int wid = ThreadPool::current_worker();
+    const std::size_t worker = wid >= 0 ? static_cast<std::size_t>(wid) : 0;
     std::lock_guard lock(trace_mutex_);
     trace_.push_back({k, worker, t0, t1});
+  }
+}
+
+void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
+  if (failed_.load(std::memory_order_relaxed)) return;
+  try {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const index_t nb = static_cast<index_t>(c.bloks.size());
+    const auto& prio = sf_.critical_priorities();
+    for (index_t j = jb; j < je; ++j) {
+      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        const index_t target = apply_update(k, i, j);
+        const index_t left =
+            deps_[static_cast<std::size_t>(target)].fetch_sub(1,
+                                                              std::memory_order_acq_rel) - 1;
+        if (left == 0 && pool_ != nullptr) {
+          pool_->submit([this, target] { eliminate(target); },
+                        prio[static_cast<std::size_t>(target)]);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard lock(error_mutex_);
+    failed_.store(true);
+    if (error_.empty()) error_ = e.what();
   }
 }
 

@@ -35,9 +35,12 @@ struct CblkData {
 };
 
 /// One elimination-task execution record (Gantt row) of the factorization.
+/// Covers the supernode's panel factorization plus the updates applied from
+/// the eliminating task itself (panel-split subtasks are not traced: the
+/// trace keeps exactly one event per supernode).
 struct TraceEvent {
   index_t cblk;
-  std::size_t worker;  ///< hashed thread id
+  std::size_t worker;  ///< dense pool worker index (0 for sequential runs)
   double start;        ///< seconds since factorize() began
   double end;
 };
@@ -101,6 +104,10 @@ private:
   void gather_panel(index_t k, const sparse::CscMatrix& src,
                     std::vector<lr::Block>& panel, bool fill_diag);
   void eliminate(index_t k);
+  /// Apply the right-looking updates of supernode k for column bloks
+  /// [jb, je), draining dependency counters and submitting (with their
+  /// critical-path priority) the successors that become ready.
+  void update_range(index_t k, index_t jb, index_t je);
   /// Diagonal factorization + (JIT) compression + panel solves of cblk k.
   void factor_panel(index_t k);
   void factorize_left_looking();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "lowrank/compression.hpp"
 #include "ordering/ordering.hpp"
@@ -42,6 +43,19 @@ struct SolverOptions {
   real_t tolerance = 1e-8;  ///< block compression tolerance τ
   int threads = 1;          ///< worker threads for the numeric factorization
   Scheduling scheduling = Scheduling::RightLooking;
+
+  /// Task scheduler for the parallel factorization. WorkStealing (default)
+  /// runs supernode eliminations on per-worker deques with critical-path
+  /// priorities and splits large trailing supernodes into panel-update
+  /// subtasks; SharedQueue is the original single-queue pool, kept for A/B
+  /// benchmarking.
+  SchedulerKind scheduler = SchedulerKind::WorkStealing;
+
+  /// Supernodes whose total off-diagonal panel height (rows) is at least
+  /// this are updated by 1D panel-split subtasks instead of a single task,
+  /// so one huge column block cannot occupy a single core while the rest of
+  /// the pool idles (work-stealing scheduler only). 0 disables splitting.
+  index_t panel_split_rows = 512;
 
   ordering::NdOptions nd;
   symbolic::SplitOptions split;

@@ -28,7 +28,9 @@ const char* kind_name(lr::CompressionKind k) {
 }
 
 Solver::Solver(SolverOptions opts) : opts_(opts) {
-  if (opts_.threads > 1) pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  if (opts_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(opts_.threads, opts_.scheduler);
+  }
 }
 
 Solver::~Solver() = default;
@@ -74,11 +76,27 @@ void Solver::factorize(const sparse::CscMatrix& a) {
 
   // Fresh peak measurement for this factorization.
   MemoryTracker::instance().reset();
+  if (pool_) pool_->reset_stats();
 
   Timer timer;
   num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, opts_, llt_);
   num_->factorize(pool_.get());
   stats_.time_factorize = timer.elapsed();
+
+  if (pool_) {
+    const ThreadPool::WorkerStats ws = pool_->total_stats();
+    stats_.scheduler_workers = pool_->size();
+    stats_.scheduler_tasks = ws.executed;
+    stats_.scheduler_steals = ws.steals;
+    stats_.scheduler_failed_steals = ws.failed_steals;
+    stats_.scheduler_idle_sleeps = ws.idle_sleeps;
+  } else {
+    stats_.scheduler_workers = 0;
+    stats_.scheduler_tasks = 0;
+    stats_.scheduler_steals = 0;
+    stats_.scheduler_failed_steals = 0;
+    stats_.scheduler_idle_sleeps = 0;
+  }
 
   stats_.factor_entries_dense =
       llt_ ? sf_->factor_entries_lower() : sf_->factor_entries_lu();
@@ -140,7 +158,8 @@ void Solver::print_summary(std::ostream& os) const {
      << "  scheduling    : "
      << (opts_.scheduling == Scheduling::LeftLooking ? "left-looking"
                                                      : "right-looking")
-     << ", threads = " << opts_.threads << "\n";
+     << ", threads = " << opts_.threads << " ("
+     << scheduler_name(opts_.scheduler) << ")\n";
   if (!analyzed()) {
     os << "  (not analyzed yet)\n";
     return;
@@ -166,6 +185,12 @@ void Solver::print_summary(std::ostream& os) const {
      << static_cast<double>(stats_.total_peak_bytes) / 1e6 << " MB total\n";
   if (stats_.pivots_replaced > 0) {
     os << "  static pivots : " << stats_.pivots_replaced << " replaced\n";
+  }
+  if (stats_.scheduler_workers > 0) {
+    os << "  scheduler     : " << stats_.scheduler_workers << " workers, "
+       << stats_.scheduler_tasks << " tasks, " << stats_.scheduler_steals
+       << " steals (" << stats_.scheduler_failed_steals << " empty sweeps), "
+       << stats_.scheduler_idle_sleeps << " idle sleeps\n";
   }
 }
 

@@ -66,6 +66,13 @@ public:
   /// options.collect_trace). One row per supernode: cblk, worker, start, end.
   [[nodiscard]] const std::vector<TraceEvent>& trace() const;
   void write_trace_csv(const std::string& path) const;
+
+  /// Per-worker scheduler counters accumulated by the last factorize()
+  /// (empty for sequential solvers). Index = the worker id TraceEvent rows
+  /// report.
+  [[nodiscard]] std::vector<ThreadPool::WorkerStats> worker_stats() const {
+    return pool_ ? pool_->worker_stats() : std::vector<ThreadPool::WorkerStats>{};
+  }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
   [[nodiscard]] bool analyzed() const { return sf_ != nullptr; }
   [[nodiscard]] bool factorized() const { return num_ != nullptr; }

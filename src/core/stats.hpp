@@ -36,6 +36,15 @@ struct SolverStats {
   /// Pivots replaced by static pivoting (LU with pivot_threshold > 0).
   index_t pivots_replaced = 0;
 
+  // Scheduler counters of the last factorize() (all zero for sequential
+  // runs; aggregated over workers — per-worker detail via
+  // Solver::worker_stats()).
+  int scheduler_workers = 0;              ///< pool size used
+  std::uint64_t scheduler_tasks = 0;      ///< tasks executed (incl. subtasks)
+  std::uint64_t scheduler_steals = 0;     ///< successful deque steals
+  std::uint64_t scheduler_failed_steals = 0;  ///< empty-handed victim sweeps
+  std::uint64_t scheduler_idle_sleeps = 0;    ///< worker blocking waits
+
   [[nodiscard]] double compression_ratio() const {
     return factor_entries_final > 0
                ? static_cast<double>(factor_entries_dense) /

@@ -108,6 +108,23 @@ SymbolicFactor SymbolicFactor::build(const sparse::CscMatrix& a,
       dest.erase(std::unique(dest.begin(), dest.end()), dest.end());
     }
   }
+
+  // Critical-path priorities for the parallel scheduler: accumulate an
+  // elimination-cost estimate (diagonal factorization + panel solve flops,
+  // scaled to keep 64 bits comfortable) bottom-up along the tree. Parents
+  // always have a larger index than their children, so one reverse sweep
+  // suffices.
+  sf.crit_prio_.assign(static_cast<std::size_t>(ncblk), 0);
+  for (index_t k = ncblk - 1; k >= 0; --k) {
+    const Cblk& c = sf.cblks_[static_cast<std::size_t>(k)];
+    const double w = static_cast<double>(c.width());
+    const double h = static_cast<double>(c.height());
+    const auto cost =
+        static_cast<std::int64_t>((w * w * w / 3.0 + 2.0 * w * w * h) / 1024.0) + 1;
+    const std::int64_t up =
+        c.parent >= 0 ? sf.crit_prio_[static_cast<std::size_t>(c.parent)] : 0;
+    sf.crit_prio_[static_cast<std::size_t>(k)] = cost + up;
+  }
   return sf;
 }
 

@@ -69,6 +69,16 @@ public:
   /// [frow, lrow); the structure guarantees containment for valid updates.
   [[nodiscard]] index_t find_blok(index_t c, index_t frow, index_t lrow) const;
 
+  /// Critical-path priority of every supernode: the estimated elimination
+  /// cost (in arbitrary units) of the chain from the supernode to the root
+  /// of the elimination tree. The parallel scheduler eliminates ready
+  /// supernodes with the largest remaining chain first, so the critical
+  /// path never starves behind bushels of cheap leaves. Computed once at
+  /// build().
+  [[nodiscard]] const std::vector<std::int64_t>& critical_priorities() const {
+    return crit_prio_;
+  }
+
   // ---- structure statistics (Figure 1 / DESIGN reporting) ----
   [[nodiscard]] index_t num_bloks() const;
   /// Scalar nonzeros of the dense-block storage of L (diag blocks counted
@@ -82,6 +92,7 @@ private:
   index_t n_ = 0;
   std::vector<Cblk> cblks_;
   std::vector<index_t> row2cblk_;
+  std::vector<std::int64_t> crit_prio_;
 };
 
 } // namespace blr::symbolic

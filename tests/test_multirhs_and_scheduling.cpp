@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <map>
 
 #include "blr.hpp"
 
@@ -203,6 +205,42 @@ TEST(Trace, RecordsOneEventPerSupernode) {
   std::string line;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, solver.stats().num_cblks);
+}
+
+TEST(Trace, ParallelTraceCoversEveryCblkOnceWithoutWorkerOverlap) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  SolverOptions o = demo_opts(Strategy::JustInTime);
+  o.collect_trace = true;
+  o.threads = 4;
+  o.scheduler = SchedulerKind::WorkStealing;
+  o.panel_split_rows = 48;  // force the panel-split subtask path
+  Solver solver(o);
+  solver.factorize(a);
+  const auto& tr = solver.trace();
+
+  // Every supernode appears exactly once, even though its updates may have
+  // been spread over several panel-split subtasks.
+  ASSERT_EQ(static_cast<index_t>(tr.size()), solver.stats().num_cblks);
+  std::vector<char> seen(static_cast<std::size_t>(solver.stats().num_cblks), 0);
+  std::map<std::size_t, std::vector<const core::TraceEvent*>> by_worker;
+  for (const auto& e : tr) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_GE(e.end, e.start);
+    EXPECT_LT(e.worker, static_cast<std::size_t>(o.threads));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(e.cblk)]) << "duplicate " << e.cblk;
+    seen[static_cast<std::size_t>(e.cblk)] = 1;
+    by_worker[e.worker].push_back(&e);
+  }
+  // A worker executes its elimination tasks serially, so its trace rows must
+  // not overlap in time.
+  for (auto& [worker, events] : by_worker) {
+    std::sort(events.begin(), events.end(),
+              [](const auto* x, const auto* y) { return x->start < y->start; });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i]->start, events[i - 1]->end)
+          << "worker " << worker << " events overlap";
+    }
+  }
 }
 
 TEST(Trace, DisabledByDefaultAndLeftLookingWorks) {
