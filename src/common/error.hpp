@@ -1,8 +1,12 @@
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <sstream>
+#include <utility>
+
+#include "common/types.hpp"
 
 namespace blr {
 
@@ -12,12 +16,81 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Machine-readable classification of a numerical breakdown.
+enum class FailureKind {
+  Unknown,            ///< unclassified (e.g. an std::exception from a kernel)
+  ZeroPivot,          ///< getrf met an exactly-zero pivot column
+  NonPositivePivot,   ///< potrf met a non-positive (or non-finite) pivot
+  NonFiniteInput,     ///< NaN/Inf among the assembly input values
+  NonFiniteBlock,     ///< NaN/Inf in an assembled (pre-factorization) block
+  NonFinitePanel,     ///< NaN/Inf in a factored panel (post-factorization)
+  CompressionFailure, ///< a low-rank compression failed (or was injected to)
+};
+
+const char* failure_kind_name(FailureKind k);
+
+/// Structured description of a numerical breakdown, carried by
+/// NumericalError so callers can react programmatically (retry ladder,
+/// telemetry, tests) instead of parsing an exception message.
+struct FailureReport {
+  FailureKind kind = FailureKind::Unknown;
+  index_t supernode = -1;    ///< failing column block (-1: not tied to one)
+  index_t local_pivot = -1;  ///< pivot index within the supernode (-1: n/a)
+  /// |pivot| that triggered the breakdown (NaN when not applicable).
+  double pivot_magnitude = std::nan("");
+  std::string strategy;      ///< active Strategy name ("Dense", ...)
+  std::string compression;   ///< active compression-kind name ("RRQR", ...)
+  std::string factorization; ///< "LLt" or "LU"
+  double tolerance = 0;      ///< active block tolerance τ
+  double elapsed_seconds = 0;///< time into the factorization at failure
+  int attempt = 0;           ///< recovery-ladder attempt index (0 = first try)
+  std::string detail;        ///< free-form context from the failure site
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Thrown when a numerical factorization breaks down (zero/tiny pivot,
-/// non-positive-definite matrix handed to Cholesky, ...).
+/// non-positive-definite matrix handed to Cholesky, non-finite data, ...).
+/// Carries a FailureReport describing where and under which configuration
+/// the breakdown happened.
 class NumericalError : public Error {
 public:
   explicit NumericalError(const std::string& what) : Error(what) {}
+  NumericalError(const std::string& what, FailureReport report)
+      : Error(what), report_(std::move(report)) {}
+
+  [[nodiscard]] const FailureReport& report() const { return report_; }
+  [[nodiscard]] FailureReport& report() { return report_; }
+
+private:
+  FailureReport report_;
 };
+
+inline const char* failure_kind_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::Unknown: return "unknown";
+    case FailureKind::ZeroPivot: return "zero-pivot";
+    case FailureKind::NonPositivePivot: return "non-positive-pivot";
+    case FailureKind::NonFiniteInput: return "non-finite-input";
+    case FailureKind::NonFiniteBlock: return "non-finite-block";
+    case FailureKind::NonFinitePanel: return "non-finite-panel";
+    case FailureKind::CompressionFailure: return "compression-failure";
+  }
+  return "?";
+}
+
+inline std::string FailureReport::to_string() const {
+  std::ostringstream os;
+  os << "numerical breakdown [" << failure_kind_name(kind) << "]";
+  if (supernode >= 0) os << " in supernode " << supernode;
+  if (local_pivot >= 0) os << " at local pivot " << local_pivot;
+  if (!std::isnan(pivot_magnitude)) os << " (|pivot| = " << pivot_magnitude << ")";
+  os << "; " << factorization << " " << strategy << "/" << compression
+     << ", tau = " << tolerance << ", attempt " << attempt << ", after "
+     << elapsed_seconds << " s";
+  if (!detail.empty()) os << "; " << detail;
+  return os.str();
+}
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

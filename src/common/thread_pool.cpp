@@ -200,10 +200,25 @@ bool ThreadPool::has_work() const {
   return false;
 }
 
+void ThreadPool::cancel() {
+  cancelled_.store(true, std::memory_order_seq_cst);
+  // Sleepers hold no tasks; workers drain (and now discard) queued tasks
+  // before sleeping, so no wakeup is needed — but nudge any worker that is
+  // mid-backoff so the drain finishes promptly.
+  wake_sleepers();
+}
+
 void ThreadPool::run_task(Task* t, Worker& me) {
-  t->fn();
-  delete t;
-  me.executed.fetch_add(1, std::memory_order_relaxed);
+  if (cancelled_.load(std::memory_order_acquire)) {
+    // Cancelled: drop the task unrun. pending_ is still decremented below,
+    // so wait_idle() observes the queue draining.
+    delete t;
+    me.discarded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    t->fn();
+    delete t;
+    me.executed.fetch_add(1, std::memory_order_relaxed);
+  }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {
       std::lock_guard lock(sleep_mutex_);
@@ -365,6 +380,7 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
     s.steals = w->steals.load(std::memory_order_relaxed);
     s.failed_steals = w->failed_steals.load(std::memory_order_relaxed);
     s.idle_sleeps = w->idle_sleeps.load(std::memory_order_relaxed);
+    s.discarded = w->discarded.load(std::memory_order_relaxed);
     out.push_back(s);
   }
   return out;
@@ -377,6 +393,7 @@ ThreadPool::WorkerStats ThreadPool::total_stats() const {
     total.steals += s.steals;
     total.failed_steals += s.failed_steals;
     total.idle_sleeps += s.idle_sleeps;
+    total.discarded += s.discarded;
   }
   return total;
 }
@@ -387,6 +404,7 @@ void ThreadPool::reset_stats() {
     w->steals.store(0, std::memory_order_relaxed);
     w->failed_steals.store(0, std::memory_order_relaxed);
     w->idle_sleeps.store(0, std::memory_order_relaxed);
+    w->discarded.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -43,6 +43,7 @@ public:
     std::uint64_t steals = 0;         ///< tasks taken from another worker's deque
     std::uint64_t failed_steals = 0;  ///< full victim sweeps that found nothing
     std::uint64_t idle_sleeps = 0;    ///< times the worker blocked after backoff
+    std::uint64_t discarded = 0;      ///< tasks dropped unrun by cancellation
   };
 
   /// Creates @p num_threads workers. 0 means std::thread::hardware_concurrency().
@@ -62,6 +63,18 @@ public:
   /// Block until every submitted task (including tasks submitted by running
   /// tasks) has finished. Must be called from outside the pool.
   void wait_idle();
+
+  /// Cooperative cancellation: every task still queued (and every task
+  /// submitted from now on) is discarded unrun instead of executed; tasks
+  /// already running are not interrupted (they are expected to poll their
+  /// own failure flag). wait_idle() still accounts for discarded tasks, so
+  /// it returns as soon as the running tasks finish and the queues drain.
+  /// The pool stays usable: clear with reset_cancel() before the next batch.
+  void cancel();
+  void reset_cancel() { cancelled_.store(false, std::memory_order_seq_cst); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
   [[nodiscard]] SchedulerKind kind() const { return kind_; }
@@ -123,6 +136,7 @@ private:
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> failed_steals{0};
     std::atomic<std::uint64_t> idle_sleeps{0};
+    std::atomic<std::uint64_t> discarded{0};
   };
 
   void worker_loop(int id);
@@ -160,6 +174,7 @@ private:
   std::atomic<int> sleepers_{0};
   std::atomic<index_t> pending_{0};  ///< queued + running tasks
   std::atomic<bool> stop_{false};
+  std::atomic<bool> cancelled_{false};
   std::atomic<std::uint64_t> seq_{0};
 };
 

@@ -1,7 +1,9 @@
 #include "core/numeric.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -11,6 +13,21 @@
 namespace blr::core {
 
 namespace {
+
+bool all_finite(const la::DMatrix& m) {
+  const real_t* p = m.data();
+  const std::size_t n = static_cast<std::size_t>(m.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(p[i]))) return false;
+  }
+  return true;
+}
+
+bool all_finite(const lr::Block& b) {
+  if (b.rank() == 0) return true;
+  if (b.is_lowrank()) return all_finite(b.lr().u) && all_finite(b.lr().v);
+  return all_finite(b.dense());
+}
 
 /// Index of the blok (within cblk c) whose row interval contains `row`.
 index_t find_blok_row(const symbolic::Cblk& c, index_t row) {
@@ -36,6 +53,20 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
       data_(static_cast<std::size_t>(sf.num_cblks())),
       locks_(static_cast<std::size_t>(sf.num_cblks())),
       deps_(static_cast<std::size_t>(sf.num_cblks())) {
+  if (opts_.check_finite) {
+    // Guard the assembly input: a single NaN/Inf would otherwise propagate
+    // silently through the factorization into a garbage answer.
+    const auto& vals = a.values();
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (!std::isfinite(static_cast<double>(vals[i]))) {
+        std::ostringstream os;
+        os << "input matrix value at nnz slot " << i << " is "
+           << vals[i];
+        fail(make_report(FailureKind::NonFiniteInput, -1, -1, std::nan(""),
+                         os.str()));
+      }
+    }
+  }
   if (!llt_ && opts_.pivot_threshold > 0) {
     // Absolute static-pivot cutoff relative to the matrix magnitude.
     real_t amax = 0;
@@ -59,6 +90,77 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
 bool NumericFactor::compressible(index_t k, const symbolic::Blok& b) const {
   return sf_.cblk(k).width() >= opts_.compress_min_width &&
          b.height() >= opts_.compress_min_height;
+}
+
+FailureReport NumericFactor::make_report(FailureKind kind, index_t supernode,
+                                         index_t local_pivot, double pivot_mag,
+                                         std::string detail) const {
+  FailureReport r;
+  r.kind = kind;
+  r.supernode = supernode;
+  r.local_pivot = local_pivot;
+  r.pivot_magnitude = pivot_mag;
+  r.strategy = strategy_name(opts_.strategy);
+  r.compression = kind_name(opts_.kind);
+  r.factorization = llt_ ? "LLt" : "LU";
+  r.tolerance = static_cast<double>(opts_.tolerance);
+  r.elapsed_seconds = trace_clock_.elapsed();
+  r.detail = std::move(detail);
+  return r;
+}
+
+void NumericFactor::fail(FailureReport report) const {
+  std::string what = report.to_string();
+  throw NumericalError(std::move(what), std::move(report));
+}
+
+void NumericFactor::record_failure(FailureReport report) {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (error_.empty()) {
+      error_ = report.to_string();
+      report_ = std::move(report);
+    }
+  }
+  failed_.store(true, std::memory_order_seq_cst);
+  // Cooperative cancellation: drain every queued elimination so a doomed
+  // parallel factorization returns in the time of one in-flight task, not
+  // the time of the whole elimination tree.
+  if (pool_ != nullptr) pool_->cancel();
+}
+
+void NumericFactor::check_cblk_finite(index_t k, FailureKind kind) const {
+  const CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const char* where = nullptr;
+  if (!all_finite(cd.diag)) where = "diagonal block";
+  if (where == nullptr) {
+    for (const auto& blk : cd.lpanel) {
+      if (!all_finite(blk)) { where = "L panel"; break; }
+    }
+  }
+  if (where == nullptr) {
+    for (const auto& blk : cd.upanel) {
+      if (!all_finite(blk)) { where = "U panel"; break; }
+    }
+  }
+  if (where != nullptr) {
+    std::ostringstream os;
+    os << "non-finite value in " << where << " of supernode " << k
+       << (kind == FailureKind::NonFiniteBlock ? " after assembly"
+                                               : " after panel factorization");
+    fail(make_report(kind, k, -1, std::nan(""), os.str()));
+  }
+}
+
+void NumericFactor::maybe_fail_compression(index_t k) {
+  if (opts_.fault.kind != FaultInjection::Kind::CompressionFail) return;
+  const index_t idx = compressions_.fetch_add(1, std::memory_order_relaxed);
+  if (idx == opts_.fault.index && opts_.fault.try_fire()) {
+    std::ostringstream os;
+    os << "injected failure of compression #" << idx;
+    fail(make_report(FailureKind::CompressionFailure, k, -1, std::nan(""),
+                     os.str()));
+  }
 }
 
 void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
@@ -94,6 +196,7 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
   panel.reserve(c.bloks.size());
   for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
     if (minmem && compressible(k, c.bloks[idx])) {
+      maybe_fail_compression(k);
       KernelTimer t(Kernel::Compression);
       panel.push_back(lr::compress_to_block(opts_.kind, scratch[idx].cview(),
                                             opts_.tolerance));
@@ -110,6 +213,14 @@ void NumericFactor::assemble_cblk(index_t k) {
   cd.diag_track = TrackedAlloc(MemCategory::Factors, cd.diag.bytes());
   gather_panel(k, ap_, cd.lpanel, /*fill_diag=*/true);
   if (!llt_) gather_panel(k, apt_, cd.upanel, /*fill_diag=*/false);
+  if (opts_.fault.kind == FaultInjection::Kind::PoisonBlock &&
+      opts_.fault.supernode == k && opts_.fault.try_fire()) {
+    // Injected data corruption: the non-finite assembly guard below (or the
+    // factored-panel guard, when check_finite is off at assembly) must turn
+    // this into a structured failure instead of a garbage answer.
+    cd.diag(0, 0) = std::numeric_limits<real_t>::quiet_NaN();
+  }
+  if (opts_.check_finite) check_cblk_finite(k, FailureKind::NonFiniteBlock);
   if (opts_.accumulate_updates) {
     cd.lacc.resize(c.bloks.size());
     if (!llt_) cd.uacc.resize(c.bloks.size());
@@ -151,6 +262,11 @@ void NumericFactor::assemble_all() {
 void NumericFactor::factorize(ThreadPool* pool) {
   const index_t ncblk = sf_.num_cblks();
   failed_.store(false);
+  {
+    std::lock_guard lock(error_mutex_);
+    error_.clear();
+    report_ = FailureReport{};
+  }
   trace_.clear();
   trace_clock_.reset();
 
@@ -178,8 +294,11 @@ void NumericFactor::factorize(ThreadPool* pool) {
   if (pool == nullptr) {
     // Sequential right-looking pass: elimination order guarantees every
     // update lands before its target is processed.
-    for (index_t k = 0; k < ncblk; ++k) eliminate(k);
-    if (failed_.load()) throw NumericalError(error_);
+    for (index_t k = 0; k < ncblk && !failed_.load(std::memory_order_relaxed);
+         ++k) {
+      eliminate(k);
+    }
+    if (failed_.load()) throw NumericalError(error_, report_);
     return;
   }
 
@@ -201,8 +320,11 @@ void NumericFactor::factorize(ThreadPool* pool) {
     pool->submit([this, k] { eliminate(k); }, prio[static_cast<std::size_t>(k)]);
   }
   pool->wait_idle();
+  // A failure cancelled the pool to drain queued eliminations; clear the
+  // flag so the pool is immediately reusable (recovery retries, benches).
+  pool->reset_cancel();
   pool_ = nullptr;
-  if (failed_.load()) throw NumericalError(error_);
+  if (failed_.load()) throw NumericalError(error_, report_);
 }
 
 void NumericFactor::factorize_left_looking() {
@@ -287,10 +409,11 @@ void NumericFactor::eliminate(index_t k) {
         }
       }
     }
+  } catch (const NumericalError& e) {
+    record_failure(e.report());
   } catch (const std::exception& e) {
-    std::lock_guard lock(error_mutex_);
-    failed_.store(true);
-    if (error_.empty()) error_ = e.what();
+    record_failure(make_report(FailureKind::Unknown, k, -1, std::nan(""),
+                               e.what()));
   }
   if (opts_.collect_trace) {
     const double t1 = trace_clock_.elapsed();
@@ -309,6 +432,9 @@ void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
     const auto& prio = sf_.critical_priorities();
     for (index_t j = jb; j < je; ++j) {
       for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        // Early exit at block-update granularity: once a sibling failed the
+        // remaining updates are dead work on a doomed factorization.
+        if (failed_.load(std::memory_order_relaxed)) return;
         const index_t target = apply_update(k, i, j);
         const index_t left =
             deps_[static_cast<std::size_t>(target)].fetch_sub(1,
@@ -319,14 +445,16 @@ void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
         }
       }
     }
+  } catch (const NumericalError& e) {
+    record_failure(e.report());
   } catch (const std::exception& e) {
-    std::lock_guard lock(error_mutex_);
-    failed_.store(true);
-    if (error_.empty()) error_ = e.what();
+    record_failure(make_report(FailureKind::Unknown, k, -1, std::nan(""),
+                               e.what()));
   }
 }
 
 void NumericFactor::factor_panel(index_t k) {
+  if (failed_.load(std::memory_order_relaxed)) return;
   {
     const symbolic::Cblk& c = sf_.cblk(k);
     CblkData& cd = data_[static_cast<std::size_t>(k)];
@@ -335,6 +463,16 @@ void NumericFactor::factor_panel(index_t k) {
     // the panels before elimination. All updates into k are already applied
     // (dependency counters), so no lock is needed.
     if (opts_.accumulate_updates) flush_all_accumulators(k);
+
+    if (opts_.fault.kind == FaultInjection::Kind::TinyPivot &&
+        opts_.fault.supernode == k && opts_.fault.try_fire()) {
+      // Injected breakdown: zero the leading pivot column so partial
+      // pivoting finds nothing (getrf) / the pivot is non-positive (potrf).
+      // Static pivoting, when enabled, replaces the pivot instead — the
+      // injected fault exercises the same masking a real tiny pivot would.
+      for (index_t i = 0; i < cd.diag.rows(); ++i) cd.diag(i, 0) = 0;
+      cd.diag(0, 0) = 0;
+    }
 
     {
       KernelTimer t(Kernel::BlockFactorization);
@@ -347,13 +485,17 @@ void NumericFactor::factor_panel(index_t k) {
         const index_t info = llt_ ? la::potrf(cd.diag.view())
                                   : la::getrf(cd.diag.view(), cd.ipiv);
         if (info != 0) {
+          const index_t piv = info - 1;
+          const double mag = std::abs(static_cast<double>(cd.diag(piv, piv)));
           std::ostringstream os;
-          os << (llt_ ? "potrf" : "getrf") << " breakdown in supernode " << k
-             << " at local pivot " << (info - 1);
-          throw NumericalError(os.str());
+          os << (llt_ ? "potrf" : "getrf") << " cannot eliminate the pivot";
+          fail(make_report(llt_ ? FailureKind::NonPositivePivot
+                                : FailureKind::ZeroPivot,
+                           k, piv, mag, os.str()));
         }
       }
     }
+    if (failed_.load(std::memory_order_relaxed)) return;
 
     // Just-In-Time: compress the accumulated panels now (Algorithm 2 l.3-4).
     // Minimal-Memory re-attempts the blocks that fell back to dense when an
@@ -363,8 +505,11 @@ void NumericFactor::factor_panel(index_t k) {
     if (opts_.strategy != Strategy::Dense) {
       const auto compress_panel = [&](std::vector<lr::Block>& panel) {
         for (std::size_t idx = 0; idx < panel.size(); ++idx) {
+          // Early exit at panel granularity once a sibling has failed.
+          if (failed_.load(std::memory_order_relaxed)) return;
           lr::Block& blk = panel[idx];
           if (blk.is_lowrank() || !compressible(k, c.bloks[idx])) continue;
+          maybe_fail_compression(k);
           KernelTimer t(Kernel::Compression);
           auto lrm = lr::compress(opts_.kind, blk.dense().cview(), opts_.tolerance,
                                   lr::beneficial_rank_limit(blk.rows(), blk.cols()));
@@ -373,11 +518,13 @@ void NumericFactor::factor_panel(index_t k) {
       };
       compress_panel(cd.lpanel);
       if (!llt_) compress_panel(cd.upanel);
+      if (failed_.load(std::memory_order_relaxed)) return;
     }
 
     {
       KernelTimer t(Kernel::PanelSolve);
       for (auto& blk : cd.lpanel) {
+        if (failed_.load(std::memory_order_relaxed)) return;
         if (blk.rank() == 0) continue;
         if (llt_) {
           if (blk.is_lowrank()) {
@@ -403,6 +550,7 @@ void NumericFactor::factor_panel(index_t k) {
       }
       if (!llt_) {
         for (auto& blk : cd.upanel) {
+          if (failed_.load(std::memory_order_relaxed)) return;
           if (blk.rank() == 0) continue;
           // Local pivoting permutes the supernode's rows = the width axis of
           // the stored transpose: column swaps (dense) / V row swaps (LR).
@@ -432,6 +580,10 @@ void NumericFactor::factor_panel(index_t k) {
         }
       }
     }
+    // Guard the factored panel: overflow/NaN escaping the diagonal
+    // factorization or the triangular solves is caught here instead of
+    // surfacing as an inexplicably wrong solution.
+    if (opts_.check_finite) check_cblk_finite(k, FailureKind::NonFinitePanel);
     cd.eliminated = true;
   }
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -119,6 +120,22 @@ private:
   void flush_all_accumulators(index_t cblk);
   [[nodiscard]] bool compressible(index_t k, const symbolic::Blok& b) const;
 
+  /// Build a FailureReport stamped with the active configuration and the
+  /// elapsed factorization time.
+  [[nodiscard]] FailureReport make_report(FailureKind kind, index_t supernode,
+                                          index_t local_pivot, double pivot_mag,
+                                          std::string detail = {}) const;
+  /// Throw NumericalError carrying @p report.
+  [[noreturn]] void fail(FailureReport report) const;
+  /// First-failure-wins capture: records the report, trips failed_ and
+  /// cancels the pool so queued eliminations drain unrun.
+  void record_failure(FailureReport report);
+  /// Non-finite scan of one supernode's blocks; throws on NaN/Inf.
+  void check_cblk_finite(index_t k, FailureKind kind) const;
+  /// Deterministic injection hook (SolverOptions::fault), CompressionFail
+  /// kind: called once per compression site.
+  void maybe_fail_compression(index_t k);
+
   const ordering::Ordering& ord_;
   const symbolic::SymbolicFactor& sf_;
   SolverOptions opts_;
@@ -142,7 +159,9 @@ private:
   Timer trace_clock_;
   std::atomic<bool> failed_{false};
   std::string error_;
+  FailureReport report_;              // first failure, guarded by error_mutex_
   std::mutex error_mutex_;
+  std::atomic<index_t> compressions_{0};  // compression-site counter (injection)
 };
 
 } // namespace blr::core

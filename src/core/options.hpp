@@ -1,5 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <vector>
+
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "lowrank/compression.hpp"
@@ -31,6 +35,89 @@ enum class Factorization {
 enum class Scheduling {
   RightLooking,
   LeftLooking,
+};
+
+/// Deterministic fault-injection hook: forces a specific breakdown so every
+/// failure-handling path (structured reports, cooperative cancellation, the
+/// recovery ladder) is exercisable in tests and under sanitizers. The
+/// trigger budget is shared across copies of the options, so a recovery
+/// retry sees the fault already consumed (modelling a transient failure)
+/// unless max_triggers allows it to fire again.
+struct FaultInjection {
+  enum class Kind {
+    None,             ///< injection disabled (the default)
+    TinyPivot,        ///< zero the leading pivot column of `supernode`'s
+                      ///< diagonal block right before its factorization
+    PoisonBlock,      ///< write a NaN into `supernode`'s assembled diagonal
+                      ///< block (caught by the non-finite assembly guard)
+    CompressionFail,  ///< fail the `index`-th low-rank compression
+  };
+  Kind kind = Kind::None;
+  index_t supernode = 0;  ///< target column block (TinyPivot / PoisonBlock)
+  index_t index = 0;      ///< which compression fails (CompressionFail)
+  /// Total firings allowed across all factorization attempts (< 0:
+  /// unlimited). The default of 1 models a transient fault: the first
+  /// attempt breaks down, a recovery retry runs clean.
+  int max_triggers = 1;
+
+  [[nodiscard]] bool enabled() const { return kind != Kind::None; }
+
+  /// Atomically claim one firing; false once max_triggers is exhausted.
+  bool try_fire() const {
+    if (kind == Kind::None) return false;
+    if (max_triggers < 0) {
+      fired_->fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    int cur = fired_->load(std::memory_order_relaxed);
+    while (cur < max_triggers) {
+      if (fired_->compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int fired() const { return fired_->load(std::memory_order_relaxed); }
+
+private:
+  /// Shared across copies so recovery attempts (which copy SolverOptions)
+  /// observe the firings of earlier attempts.
+  std::shared_ptr<std::atomic<int>> fired_ =
+      std::make_shared<std::atomic<int>>(0);
+};
+
+/// One rung of the recovery ladder: the configuration change applied before
+/// the next factorization attempt. Rungs are cumulative — each retry keeps
+/// the changes of every earlier rung.
+struct RecoveryStep {
+  enum class Action {
+    TightenTolerance,  ///< multiply τ by tolerance_factor (a tighter τ keeps
+                       ///< more of the spectrum, curing loose-compression
+                       ///< breakdowns)
+    StaticPivoting,    ///< enable PaStiX-style static pivoting with
+                       ///< pivot_threshold (forces LU: LLᵗ has no pivot
+                       ///< replacement)
+    SwitchToLu,        ///< re-factorize LLᵗ breakdowns as LU
+    DenseFallback,     ///< abandon compression entirely (Strategy::Dense)
+  };
+  Action action = Action::TightenTolerance;
+  real_t tolerance_factor = 1e-2;  ///< τ multiplier (TightenTolerance)
+  real_t pivot_threshold = 1e-8;   ///< static-pivot cutoff (StaticPivoting)
+};
+
+const char* recovery_action_name(RecoveryStep::Action a);
+
+/// Retry ladder applied by Solver::factorize when the numeric factorization
+/// throws NumericalError: each failed attempt climbs one rung, amends the
+/// effective options, and re-runs. Every attempt (including the first and
+/// the final outcome) is recorded in SolverStats::attempts and surfaced by
+/// print_summary. An empty ladder with enabled=true uses default_ladder().
+struct RecoveryPolicy {
+  bool enabled = false;
+  std::vector<RecoveryStep> ladder;
+
+  /// tighten τ ×1e-2 → static pivoting @1e-8 (LU) → dense fallback.
+  static std::vector<RecoveryStep> default_ladder();
 };
 
 /// Everything configurable about a solver run. Defaults reproduce the
@@ -81,6 +168,20 @@ struct SolverOptions {
   /// solver's structural requirement, paper §1). One O(nnz) pass; disable
   /// only when the producer guarantees symmetry.
   bool check_pattern = true;
+
+  /// Guard assembly inputs, assembled blocks and factored panels against
+  /// NaN/Inf: a non-finite value raises NumericalError with a structured
+  /// FailureReport instead of silently propagating to a garbage answer.
+  /// One O(nnz) input pass plus one O(factor entries) panel pass — noise
+  /// next to the factorization flops. Disable only in fully-trusted
+  /// pipelines chasing the last percent.
+  bool check_finite = true;
+
+  /// Deterministic fault injection for testing breakdown handling.
+  FaultInjection fault;
+
+  /// Automatic retry ladder on numerical breakdown (disabled by default).
+  RecoveryPolicy recovery;
 
   /// LUAR-style update accumulation for the Minimal-Memory scenario (the
   /// aggregation of small contributions the paper's conclusion proposes):

@@ -1,6 +1,7 @@
 #include "core/refinement.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "linalg/blas.hpp"
 
@@ -22,6 +23,33 @@ real_t residual(const sparse::CscMatrix& a, const real_t* x, const real_t* b,
   return vec_norm(r);
 }
 
+/// Divergence / stagnation watchdog shared by the three methods: inspects
+/// the newest history entry and decides whether the iteration should be
+/// abandoned instead of burning through max_iterations.
+struct ProgressGuard {
+  const RefinementOptions& opts;
+  real_t best = std::numeric_limits<real_t>::infinity();
+  index_t since_best = 0;
+
+  /// True when the iteration must stop now; marks @p out diverged when the
+  /// error went non-finite or blew past the best value seen.
+  bool should_stop(RefinementResult& out) {
+    const real_t err = out.history.back();
+    if (!std::isfinite(err) ||
+        (opts.divergence_factor > 0 && std::isfinite(best) &&
+         err > opts.divergence_factor * best)) {
+      out.diverged = true;
+      return true;
+    }
+    if (err < best) {
+      best = err;
+      since_best = 0;
+      return false;
+    }
+    return opts.stagnation_window > 0 && ++since_best >= opts.stagnation_window;
+  }
+};
+
 } // namespace
 
 RefinementResult iterative_refinement(const sparse::CscMatrix& a,
@@ -42,11 +70,13 @@ RefinementResult iterative_refinement(const sparse::CscMatrix& a,
 
   real_t rnorm = residual(a, x, b, r);
   out.history.push_back(rnorm / bnorm);
+  ProgressGuard guard{opts};
   for (index_t it = 0; it < opts.max_iterations; ++it) {
     if (out.history.back() <= opts.target) {
       out.converged = true;
       break;
     }
+    if (guard.should_stop(out)) break;
     m(r.data(), d.data());
     for (index_t i = 0; i < n; ++i) x[i] += d[static_cast<std::size_t>(i)];
     rnorm = residual(a, x, b, r);
@@ -86,7 +116,9 @@ RefinementResult gmres(const sparse::CscMatrix& a, const Preconditioner& m,
   std::vector<real_t> g(static_cast<std::size_t>(restart + 1));
   std::vector<real_t> z(static_cast<std::size_t>(n)), w(static_cast<std::size_t>(n));
 
-  while (out.iterations < opts.max_iterations &&
+  ProgressGuard guard{opts};
+  bool abandoned = false;
+  while (!abandoned && out.iterations < opts.max_iterations &&
          out.history.back() > opts.target && beta > 0) {
     std::fill(h.begin(), h.end(), real_t(0));
     std::fill(g.begin(), g.end(), real_t(0));
@@ -106,6 +138,14 @@ RefinementResult gmres(const sparse::CscMatrix& a, const Preconditioner& m,
         la::axpy(n, -hij, v[static_cast<std::size_t>(i)].data(), w.data());
       }
       const real_t hnext = la::nrm2(n, w.data());
+      if (!std::isfinite(hnext)) {
+        // A non-finite Krylov vector (NaN/Inf out of the preconditioner or
+        // the matrix) would slip through the Givens rotations as a spurious
+        // zero residual estimate — abandon before it corrupts the update.
+        out.diverged = true;
+        abandoned = true;
+        break;
+      }
       H(j + 1, j) = hnext;
       if (hnext > 0) {
         v.emplace_back(w);
@@ -134,7 +174,15 @@ RefinementResult gmres(const sparse::CscMatrix& a, const Preconditioner& m,
         ++j;
         break;
       }
+      if (guard.should_stop(out)) {
+        abandoned = true;
+        ++j;
+        break;
+      }
     }
+    // Diverged mid-cycle: the Krylov data is tainted, keep the current x
+    // rather than folding a non-finite correction into it.
+    if (out.diverged) break;
 
     // Back-substitute y and update x += M⁻¹·(V·y).
     std::vector<real_t> y(static_cast<std::size_t>(j), 0);
@@ -180,8 +228,10 @@ RefinementResult conjugate_gradient(const sparse::CscMatrix& a,
   real_t rz = la::dot(n, r.data(), z.data());
   out.history.push_back(vec_norm(r) / bnorm);
 
+  ProgressGuard guard{opts};
   for (index_t it = 0; it < opts.max_iterations; ++it) {
     if (out.history.back() <= opts.target || rz == 0) break;
+    if (guard.should_stop(out)) break;
     a.spmv(p.data(), ap.data());
     const real_t pap = la::dot(n, p.data(), ap.data());
     if (pap <= 0) break;  // matrix not SPD (or breakdown)

@@ -16,6 +16,11 @@ struct RefinementResult {
   std::vector<real_t> history;
   index_t iterations = 0;
   bool converged = false;
+  /// The iteration was abandoned early: the residual went non-finite or
+  /// grew far past the best value seen (a diverging preconditioner/matrix
+  /// pair). Stagnation (no progress over a window) stops the iteration with
+  /// converged == false but diverged == false.
+  bool diverged = false;
 
   [[nodiscard]] real_t final_error() const {
     return history.empty() ? real_t(1) : history.back();
@@ -26,6 +31,12 @@ struct RefinementOptions {
   index_t max_iterations = 20;
   real_t target = 1e-12;   ///< stop when the backward error drops below this
   index_t gmres_restart = 30;
+  /// Abandon (diverged = true) when the error exceeds divergence_factor x
+  /// the best error seen so far, or is NaN/Inf. 0 disables the check.
+  real_t divergence_factor = 1e4;
+  /// Abandon (converged = false) after this many consecutive iterations
+  /// without improving on the best error. 0 disables the check.
+  index_t stagnation_window = 8;
 };
 
 /// Classical iterative refinement: x ← x + M⁻¹(b − A·x).

@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 
@@ -8,6 +9,32 @@
 #include "sparse/graph.hpp"
 
 namespace blr::core {
+
+namespace {
+
+/// Apply one recovery rung to the effective options (rungs are cumulative:
+/// each retry keeps the changes of every earlier rung).
+void apply_recovery_step(SolverOptions& eff, const RecoveryStep& step) {
+  switch (step.action) {
+    case RecoveryStep::Action::TightenTolerance:
+      eff.tolerance *= step.tolerance_factor;
+      break;
+    case RecoveryStep::Action::StaticPivoting:
+      eff.pivot_threshold = std::max(eff.pivot_threshold, step.pivot_threshold);
+      // Static pivoting replaces pivots in the LU path only; an LLᵗ
+      // breakdown re-runs as LU so the replacement can actually happen.
+      eff.factorization = Factorization::Lu;
+      break;
+    case RecoveryStep::Action::SwitchToLu:
+      eff.factorization = Factorization::Lu;
+      break;
+    case RecoveryStep::Action::DenseFallback:
+      eff.strategy = Strategy::Dense;
+      break;
+  }
+}
+
+} // namespace
 
 const char* strategy_name(Strategy s) {
   switch (s) {
@@ -25,6 +52,26 @@ const char* kind_name(lr::CompressionKind k) {
     case lr::CompressionKind::Randomized: return "Randomized";
   }
   return "?";
+}
+
+const char* recovery_action_name(RecoveryStep::Action a) {
+  switch (a) {
+    case RecoveryStep::Action::TightenTolerance: return "tighten-tolerance";
+    case RecoveryStep::Action::StaticPivoting: return "static-pivoting";
+    case RecoveryStep::Action::SwitchToLu: return "switch-to-lu";
+    case RecoveryStep::Action::DenseFallback: return "dense-fallback";
+  }
+  return "?";
+}
+
+std::vector<RecoveryStep> RecoveryPolicy::default_ladder() {
+  std::vector<RecoveryStep> ladder(3);
+  ladder[0].action = RecoveryStep::Action::TightenTolerance;
+  ladder[0].tolerance_factor = 1e-2;
+  ladder[1].action = RecoveryStep::Action::StaticPivoting;
+  ladder[1].pivot_threshold = 1e-8;
+  ladder[2].action = RecoveryStep::Action::DenseFallback;
+  return ladder;
 }
 
 Solver::Solver(SolverOptions opts) : opts_(opts) {
@@ -66,37 +113,91 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   if (!analyzed()) analyze(a);
   BLR_CHECK(a.rows() == sf_->n(), "matrix size changed since analyze()");
 
-  switch (opts_.factorization) {
-    case Factorization::Llt: llt_ = true; break;
-    case Factorization::Lu: llt_ = false; break;
-    case Factorization::Auto:
-      llt_ = (a.symmetry() == sparse::Symmetry::Spd);
+  // Any previous factorization is invalid from here on: a failed attempt
+  // must leave factorized() == false so solve()/refine()/preconditioner()
+  // reject stale factors instead of silently using them.
+  num_.reset();
+  stats_.attempts.clear();
+  stats_.time_factorize = 0;
+
+  const auto capture_scheduler = [this] {
+    if (pool_) {
+      const ThreadPool::WorkerStats ws = pool_->total_stats();
+      stats_.scheduler_workers = pool_->size();
+      stats_.scheduler_tasks = ws.executed;
+      stats_.scheduler_steals = ws.steals;
+      stats_.scheduler_failed_steals = ws.failed_steals;
+      stats_.scheduler_idle_sleeps = ws.idle_sleeps;
+      stats_.scheduler_discarded = ws.discarded;
+    } else {
+      stats_.scheduler_workers = 0;
+      stats_.scheduler_tasks = 0;
+      stats_.scheduler_steals = 0;
+      stats_.scheduler_failed_steals = 0;
+      stats_.scheduler_idle_sleeps = 0;
+      stats_.scheduler_discarded = 0;
+    }
+  };
+
+  SolverOptions eff = opts_;
+  std::vector<RecoveryStep> ladder;
+  if (opts_.recovery.enabled) {
+    ladder = opts_.recovery.ladder.empty() ? RecoveryPolicy::default_ladder()
+                                           : opts_.recovery.ladder;
+  }
+  std::size_t rung = 0;
+  std::string action = "initial";
+
+  for (int attempt = 0;; ++attempt) {
+    switch (eff.factorization) {
+      case Factorization::Llt: llt_ = true; break;
+      case Factorization::Lu: llt_ = false; break;
+      case Factorization::Auto:
+        llt_ = (a.symmetry() == sparse::Symmetry::Spd);
+        break;
+    }
+
+    FactorizeAttempt rec;
+    rec.attempt = attempt;
+    rec.action = action;
+    rec.strategy = strategy_name(eff.strategy);
+    rec.tolerance = static_cast<double>(eff.tolerance);
+    rec.pivot_threshold = static_cast<double>(eff.pivot_threshold);
+    rec.llt = llt_;
+
+    // Fresh peak measurement and scheduler counters for this attempt.
+    MemoryTracker::instance().reset();
+    if (pool_) pool_->reset_stats();
+
+    Timer timer;
+    try {
+      num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, eff, llt_);
+      num_->factorize(pool_.get());
+      rec.seconds = timer.elapsed();
+      rec.succeeded = true;
+      stats_.time_factorize += rec.seconds;
+      stats_.attempts.push_back(std::move(rec));
       break;
+    } catch (NumericalError& e) {
+      rec.seconds = timer.elapsed();
+      stats_.time_factorize += rec.seconds;
+      num_.reset();
+      e.report().attempt = attempt;
+      rec.error = e.report().to_string();
+      stats_.attempts.push_back(std::move(rec));
+      capture_scheduler();  // counters of the failed (cancelled) attempt
+      if (rung >= ladder.size()) {
+        // Ladder exhausted (or recovery disabled): surface the structured
+        // report, re-stamped with the attempt index.
+        throw NumericalError(e.report().to_string(), e.report());
+      }
+      action = recovery_action_name(ladder[rung].action);
+      apply_recovery_step(eff, ladder[rung]);
+      ++rung;
+    }
   }
 
-  // Fresh peak measurement for this factorization.
-  MemoryTracker::instance().reset();
-  if (pool_) pool_->reset_stats();
-
-  Timer timer;
-  num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, opts_, llt_);
-  num_->factorize(pool_.get());
-  stats_.time_factorize = timer.elapsed();
-
-  if (pool_) {
-    const ThreadPool::WorkerStats ws = pool_->total_stats();
-    stats_.scheduler_workers = pool_->size();
-    stats_.scheduler_tasks = ws.executed;
-    stats_.scheduler_steals = ws.steals;
-    stats_.scheduler_failed_steals = ws.failed_steals;
-    stats_.scheduler_idle_sleeps = ws.idle_sleeps;
-  } else {
-    stats_.scheduler_workers = 0;
-    stats_.scheduler_tasks = 0;
-    stats_.scheduler_steals = 0;
-    stats_.scheduler_failed_steals = 0;
-    stats_.scheduler_idle_sleeps = 0;
-  }
+  capture_scheduler();
 
   stats_.factor_entries_dense =
       llt_ ? sf_->factor_entries_lower() : sf_->factor_entries_lu();
@@ -110,7 +211,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
 }
 
 void Solver::solve(const real_t* b, real_t* x) const {
-  BLR_CHECK(factorized(), "factorize() must be called before solve()");
+  BLR_CHECK(factorized(), "a successful factorize() is required before solve()");
   Timer timer;
   num_->solve(b, x);
   const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
@@ -123,14 +224,14 @@ std::vector<real_t> Solver::solve(const std::vector<real_t>& b) const {
 }
 
 void Solver::solve(la::DConstView b, la::DView x) const {
-  BLR_CHECK(factorized(), "factorize() must be called before solve()");
+  BLR_CHECK(factorized(), "a successful factorize() is required before solve()");
   Timer timer;
   num_->solve(b, x);
   const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
 }
 
 Preconditioner Solver::preconditioner() const {
-  BLR_CHECK(factorized(), "factorize() must be called before preconditioner()");
+  BLR_CHECK(factorized(), "a successful factorize() is required before preconditioner()");
   const NumericFactor* num = num_.get();
   return [num](const real_t* in, real_t* out) { num->solve(in, out); };
 }
@@ -190,13 +291,28 @@ void Solver::print_summary(std::ostream& os) const {
     os << "  scheduler     : " << stats_.scheduler_workers << " workers, "
        << stats_.scheduler_tasks << " tasks, " << stats_.scheduler_steals
        << " steals (" << stats_.scheduler_failed_steals << " empty sweeps), "
-       << stats_.scheduler_idle_sleeps << " idle sleeps\n";
+       << stats_.scheduler_idle_sleeps << " idle sleeps";
+    if (stats_.scheduler_discarded > 0) {
+      os << ", " << stats_.scheduler_discarded << " cancelled";
+    }
+    os << "\n";
+  }
+  if (stats_.attempts.size() > 1) {
+    os << "  recovery      : " << stats_.attempts.size() << " attempts\n";
+    for (const FactorizeAttempt& at : stats_.attempts) {
+      os << "    #" << at.attempt << " [" << at.action << "] "
+         << at.strategy << (at.llt ? " LL^t" : " LU") << ", tau = "
+         << at.tolerance;
+      if (at.pivot_threshold > 0) os << ", pivot = " << at.pivot_threshold;
+      os << ": "
+         << (at.succeeded ? "ok" : at.error) << " (" << at.seconds << " s)\n";
+    }
   }
 }
 
 RefinementResult Solver::refine(const sparse::CscMatrix& a, const real_t* b,
                                 real_t* x, const RefinementOptions& opts) const {
-  BLR_CHECK(factorized(), "factorize() must be called before refine()");
+  BLR_CHECK(factorized(), "a successful factorize() is required before refine()");
   const Preconditioner m = preconditioner();
   return llt_ ? conjugate_gradient(a, m, b, x, opts) : gmres(a, m, b, x, opts);
 }

@@ -1,10 +1,26 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace blr::core {
+
+/// Record of one factorization attempt made by Solver::factorize — the
+/// initial try plus every recovery-ladder retry.
+struct FactorizeAttempt {
+  int attempt = 0;             ///< 0 = first try
+  std::string action;          ///< "initial" or the recovery rung applied
+  std::string strategy;        ///< effective strategy name for this attempt
+  double tolerance = 0;        ///< effective τ
+  double pivot_threshold = 0;  ///< effective static-pivot threshold
+  bool llt = false;            ///< effective factorization kind
+  bool succeeded = false;
+  double seconds = 0;          ///< wall time of this attempt
+  std::string error;           ///< failure summary (empty on success)
+};
 
 /// Aggregate measurements of one solver run — the quantities the paper's
 /// tables and figures report.
@@ -44,6 +60,12 @@ struct SolverStats {
   std::uint64_t scheduler_steals = 0;     ///< successful deque steals
   std::uint64_t scheduler_failed_steals = 0;  ///< empty-handed victim sweeps
   std::uint64_t scheduler_idle_sleeps = 0;    ///< worker blocking waits
+  /// Tasks drained unrun by cooperative cancellation after a breakdown.
+  std::uint64_t scheduler_discarded = 0;
+
+  /// Every factorization attempt of the last factorize() call (one entry
+  /// for a clean run; one per ladder rung when recovery kicked in).
+  std::vector<FactorizeAttempt> attempts;
 
   [[nodiscard]] double compression_ratio() const {
     return factor_entries_final > 0

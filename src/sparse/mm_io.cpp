@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -26,8 +28,16 @@ CscMatrix read_matrix_market(const std::string& path) {
 }
 
 CscMatrix read_matrix_market(std::istream& in) {
+  long long lineno = 0;
   std::string line;
-  BLR_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+  const auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++lineno;
+    return true;
+  };
+  const auto at_line = [&]() { return " at line " + std::to_string(lineno); };
+
+  BLR_CHECK(next_line(), "empty Matrix Market stream");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
@@ -41,31 +51,78 @@ CscMatrix read_matrix_market(std::istream& in) {
   BLR_CHECK(symmetry == "general" || symmetry == "symmetric",
             "unsupported symmetry: " + symmetry);
 
-  // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  // Skip comments / blank lines up to the size line.
+  bool have_size = false;
+  while (next_line()) {
+    if (!line.empty() && line[0] != '%') {
+      have_size = true;
+      break;
+    }
   }
+  BLR_CHECK(have_size, "truncated Matrix Market header: size line missing"
+                       " (stream ended after line " + std::to_string(lineno) + ")");
+
+  // Parse dimensions in long long so negative or overflowing counts are
+  // caught instead of wrapping (operator>> sets failbit on overflow).
   std::istringstream dims(line);
-  index_t rows = 0, cols = 0, entries = 0;
+  long long rows = 0, cols = 0, entries = 0;
   dims >> rows >> cols >> entries;
-  BLR_CHECK(rows > 0 && cols > 0, "invalid Matrix Market dimensions");
+  BLR_CHECK(!dims.fail(),
+            "malformed Matrix Market size line" + at_line() + ": '" + line + "'");
+  BLR_CHECK(rows > 0 && cols > 0,
+            "invalid Matrix Market dimensions" + at_line() + ": " +
+                std::to_string(rows) + " x " + std::to_string(cols));
+  BLR_CHECK(entries >= 0, "negative Matrix Market entry count" + at_line() +
+                              ": " + std::to_string(entries));
+  // entries <= rows*cols, written div/mod so rows*cols itself cannot overflow.
+  BLR_CHECK(entries / rows < cols ||
+                (entries / rows == cols && entries % rows == 0),
+            "Matrix Market entry count " + std::to_string(entries) +
+                " exceeds rows x cols" + at_line());
 
   std::vector<Triplet> trip;
   trip.reserve(static_cast<std::size_t>(entries) * (symmetry == "symmetric" ? 2 : 1));
-  for (index_t e = 0; e < entries; ++e) {
-    index_t i = 0, j = 0;
+  for (long long e = 0; e < entries; ++e) {
+    // One entry per line (blank lines tolerated).
+    do {
+      BLR_CHECK(next_line(), "truncated Matrix Market data: expected " +
+                                 std::to_string(entries) + " entries, stream "
+                                 "ended after line " + std::to_string(lineno) +
+                                 " (" + std::to_string(e) + " read)");
+    } while (line.find_first_not_of(" \t\r\n") == std::string::npos);
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
     real_t v = 1.0;
-    in >> i >> j;
-    if (field != "pattern") in >> v;
-    BLR_CHECK(static_cast<bool>(in), "truncated Matrix Market entries");
-    --i;  // 1-based -> 0-based
-    --j;
-    trip.push_back({i, j, v});
-    if (symmetry == "symmetric" && i != j) trip.push_back({j, i, v});
+    entry >> i >> j;
+    if (field != "pattern") {
+      // Parse the value via strtod: istream extraction rejects "nan"/"inf"
+      // outright, but we want to see them and fail with the precise
+      // non-finite diagnostic below.
+      std::string vtok;
+      entry >> vtok;
+      char* end = nullptr;
+      v = std::strtod(vtok.c_str(), &end);
+      if (vtok.empty() || end != vtok.c_str() + vtok.size()) entry.setstate(std::ios::failbit);
+    }
+    BLR_CHECK(!entry.fail(),
+              "malformed Matrix Market entry" + at_line() + ": '" + line + "'");
+    BLR_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
+              "Matrix Market index (" + std::to_string(i) + ", " +
+                  std::to_string(j) + ") out of range for " +
+                  std::to_string(rows) + " x " + std::to_string(cols) +
+                  at_line());
+    BLR_CHECK(std::isfinite(v),
+              "non-finite Matrix Market value" + at_line() + ": '" + line + "'");
+    const index_t ii = static_cast<index_t>(i - 1);  // 1-based -> 0-based
+    const index_t jj = static_cast<index_t>(j - 1);
+    trip.push_back({ii, jj, v});
+    if (symmetry == "symmetric" && ii != jj) trip.push_back({jj, ii, v});
   }
   const Symmetry sym = (symmetry == "symmetric") ? Symmetry::SymmetricValues
                                                  : Symmetry::General;
-  return CscMatrix::from_triplets(rows, cols, std::move(trip), sym);
+  return CscMatrix::from_triplets(static_cast<index_t>(rows),
+                                  static_cast<index_t>(cols), std::move(trip),
+                                  sym);
 }
 
 void write_matrix_market(const CscMatrix& a, const std::string& path) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/refinement.hpp"
 #include "core/solver.hpp"
 #include "common/prng.hpp"
@@ -179,6 +182,94 @@ TEST(Gmres, ZeroRhsIsImmediatelyConverged) {
   RefinementOptions opts;
   const auto res = gmres(a, jacobi(a), b.data(), x.data(), opts);
   EXPECT_EQ(res.iterations, 0);
+}
+
+
+// ---------------------------------------------------------------------------
+// Divergence / stagnation detection
+// ---------------------------------------------------------------------------
+
+Preconditioner scaled_precond(index_t n, real_t s) {
+  return [n, s](const real_t* in, real_t* out) {
+    for (index_t i = 0; i < n; ++i) out[i] = s * in[i];
+  };
+}
+
+Preconditioner nan_precond(index_t n) {
+  return [n](const real_t*, real_t* out) {
+    for (index_t i = 0; i < n; ++i)
+      out[i] = std::numeric_limits<real_t>::quiet_NaN();
+  };
+}
+
+TEST(Divergence, IterativeRefinementStopsWhenErrorExplodes) {
+  // A wildly over-scaled "preconditioner" amplifies the error every sweep:
+  // the watchdog must abandon the run instead of looping to max_iterations.
+  const CscMatrix a = sparse::laplacian_2d(10, 10);
+  const auto b = rhs(a.rows(), 21);
+  std::vector<real_t> x(b.size(), 0.0);
+  RefinementOptions opts;
+  opts.max_iterations = 50;
+  const auto res = iterative_refinement(a, scaled_precond(a.rows(), -1e4), b.data(),
+                                        x.data(), opts);
+  EXPECT_TRUE(res.diverged);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LT(res.iterations, 10);
+}
+
+TEST(Divergence, IterativeRefinementStopsOnNaN) {
+  const CscMatrix a = sparse::laplacian_2d(8, 8);
+  const auto b = rhs(a.rows(), 22);
+  std::vector<real_t> x(b.size(), 0.0);
+  RefinementOptions opts;
+  opts.max_iterations = 50;
+  const auto res =
+      iterative_refinement(a, nan_precond(a.rows()), b.data(), x.data(), opts);
+  EXPECT_TRUE(res.diverged);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LT(res.iterations, 5);
+}
+
+TEST(Divergence, IterativeRefinementStagnationStopsEarly) {
+  // A zero preconditioner never changes x: the error history is flat and
+  // the stagnation window must cut the run short with converged == false.
+  const CscMatrix a = sparse::laplacian_2d(10, 10);
+  const auto b = rhs(a.rows(), 23);
+  std::vector<real_t> x(b.size(), 0.0);
+  RefinementOptions opts;
+  opts.max_iterations = 100;
+  opts.stagnation_window = 5;
+  const auto res = iterative_refinement(a, scaled_precond(a.rows(), 0.0), b.data(),
+                                        x.data(), opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(res.diverged);
+  EXPECT_LE(res.iterations, 6);
+}
+
+TEST(Divergence, ConjugateGradientStopsOnNaN) {
+  const CscMatrix a = sparse::laplacian_2d(8, 8);
+  const auto b = rhs(a.rows(), 24);
+  std::vector<real_t> x(b.size(), 0.0);
+  RefinementOptions opts;
+  opts.max_iterations = 50;
+  const auto res =
+      conjugate_gradient(a, nan_precond(a.rows()), b.data(), x.data(), opts);
+  EXPECT_TRUE(res.diverged);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LT(res.iterations, 5);
+}
+
+TEST(Divergence, GmresAbandonsWithoutPoisoningTheIterate) {
+  const CscMatrix a = sparse::laplacian_2d(8, 8);
+  const auto b = rhs(a.rows(), 25);
+  std::vector<real_t> x(b.size(), 0.0);
+  RefinementOptions opts;
+  opts.max_iterations = 50;
+  const auto res = gmres(a, nan_precond(a.rows()), b.data(), x.data(), opts);
+  EXPECT_TRUE(res.diverged);
+  EXPECT_FALSE(res.converged);
+  // The tainted Krylov correction was not folded into x.
+  for (const real_t v : x) EXPECT_TRUE(std::isfinite(v));
 }
 
 } // namespace

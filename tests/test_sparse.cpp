@@ -196,4 +196,87 @@ TEST(MatrixMarket, RejectsTruncatedData) {
   EXPECT_THROW(read_matrix_market(ss), Error);
 }
 
+
+TEST(MatrixMarket, TruncatedHeaderNamesTheProblem) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n% only comments\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("size line"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, NegativeEntryCountIsRejected) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n2 2 -3\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, OverflowingEntryCountIsRejected) {
+  std::stringstream ss;
+  // 2^80: overflows long long, operator>> sets failbit instead of wrapping.
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 1208925819614629174706176\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MatrixMarket, EntryCountBeyondDenseCapacityIsRejected) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n2 2 5\n"
+     << "1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds rows x cols"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, OutOfRangeIndexNamesTheLine) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n3 3 2\n"
+     << "1 1 1.0\n7 2 1.0\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, NonFiniteValueIsRejected) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n2 2 2\n"
+     << "1 1 1.0\n2 2 nan\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, MalformedEntryNamesTheLine) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n2 2 2\n"
+     << "1 1 1.0\nbogus line\n";
+  try {
+    read_matrix_market(ss);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
 } // namespace
