@@ -49,6 +49,8 @@ struct RunResult {
   std::size_t factors_peak_bytes = 0;
   std::size_t total_peak_bytes = 0;
   index_t lowrank_blocks = 0;
+  double dense_block_fraction = 0;
+  std::vector<core::DispatchCount> dispatch;  ///< per-kernel call counters
 };
 
 /// Factorize + solve once, collecting the quantities the paper reports.
@@ -74,7 +76,35 @@ inline RunResult run_solver(const sparse::CscMatrix& a, const SolverOptions& opt
   r.factors_peak_bytes = s.stats().factors_peak_bytes;
   r.total_peak_bytes = s.stats().total_peak_bytes;
   r.lowrank_blocks = s.stats().num_lowrank_blocks;
+  r.dense_block_fraction = s.stats().dense_block_fraction;
+  r.dispatch = s.stats().dispatch;
   return r;
+}
+
+/// Append one run as a JSON object line to `out` (the caller brackets the
+/// array and handles commas). Kernel-dispatch counters are included so the
+/// figure data carries the per-kernel call profile of each configuration.
+inline void json_run(std::FILE* out, const char* label, index_t dofs,
+                     const RunResult& r) {
+  std::fprintf(out,
+               "    {\"config\": \"%s\", \"dofs\": %lld, "
+               "\"factor_bytes\": %zu, \"peak_bytes\": %zu, "
+               "\"factorization_s\": %.6f, \"backward_error\": %.3e, "
+               "\"dense_block_fraction\": %.4f, \"kernels\": [",
+               label, static_cast<long long>(dofs),
+               r.factor_entries * sizeof(real_t), r.total_peak_bytes,
+               r.factorization_time, static_cast<double>(r.backward_error),
+               r.dense_block_fraction);
+  for (std::size_t i = 0; i < r.dispatch.size(); ++i) {
+    const auto& d = r.dispatch[i];
+    std::fprintf(out,
+                 "%s{\"kernel\": \"%s\", \"calls\": %llu, \"bytes\": %llu, "
+                 "\"seconds\": %.6f}",
+                 i == 0 ? "" : ", ", d.kernel.c_str(),
+                 static_cast<unsigned long long>(d.calls),
+                 static_cast<unsigned long long>(d.bytes), d.seconds);
+  }
+  std::fprintf(out, "]}");
 }
 
 inline double gib(std::size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0); }

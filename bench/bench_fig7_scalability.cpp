@@ -11,6 +11,7 @@
 // count, with the steal/idle counters the pool collects.
 
 #include <algorithm>
+#include <cmath>
 
 #include "bench_common.hpp"
 
@@ -61,6 +62,20 @@ int main() {
   const index_t nmax = env_index("BLR_BENCH_N", 52);
   print_header("Figure 7 — memory scalability, 3D Laplacians (MinMem/RRQR)");
 
+  // Machine-readable companion of the table: one JSON object per run,
+  // including the per-kernel dispatch counters.
+  const char* json_path = std::getenv("BLR_BENCH_JSON");
+  std::FILE* json =
+      std::fopen(json_path ? json_path : "fig7_memory.json", "w");
+  if (json) std::fprintf(json, "{\n  \"figure\": \"fig7_memory\",\n  \"runs\": [\n");
+  bool json_first = true;
+  const auto emit = [&](const char* label, index_t dofs, const RunResult& r) {
+    if (!json) return;
+    if (!json_first) std::fprintf(json, ",\n");
+    json_first = false;
+    json_run(json, label, dofs, r);
+  };
+
   std::printf("%-8s %10s | %21s | %21s | %21s | %21s\n", "size", "dofs",
               "dense fact/peak MB", "t=1e-4 fact/peak", "t=1e-8 fact/peak",
               "t=1e-12 fact/peak");
@@ -76,15 +91,24 @@ int main() {
         run_solver(a, paper_options(Strategy::Dense, lr::CompressionKind::Rrqr, 1e-8));
     std::printf(" %9.1f/%9.1f |", mib(dense.factor_entries * sizeof(real_t)),
                 mib(dense.total_peak_bytes));
+    emit("dense", a.rows(), dense);
 
     for (const real_t tol : {1e-4, 1e-8, 1e-12}) {
       const RunResult r = run_solver(
           a, paper_options(Strategy::MinimalMemory, lr::CompressionKind::Rrqr, tol));
       std::printf(" %9.1f/%9.1f |", mib(r.factor_entries * sizeof(real_t)),
                   mib(r.total_peak_bytes));
+      const std::string label =
+          "minmem_tol" + std::to_string(static_cast<int>(-std::log10(tol)));
+      emit(label.c_str(), a.rows(), r);
     }
     std::printf("\n");
     std::fflush(stdout);
+  }
+
+  if (json) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
   }
 
   scheduler_ab(sparse::laplacian_3d(nlast, nlast, nlast), nlast);

@@ -51,8 +51,8 @@ void BM_LrProduct(benchmark::State& state) {
   Prng rng(7);
   const la::DMatrix da = la::random_rank_k<real_t>(m, m, 16, rng);
   const la::DMatrix db = la::random_rank_k<real_t>(m, m, 16, rng);
-  const lr::Block a = lr::compress_to_block(lr::CompressionKind::Rrqr, da.cview(), 1e-8);
-  const lr::Block b = lr::compress_to_block(lr::CompressionKind::Rrqr, db.cview(), 1e-8);
+  const lr::Tile a = lr::compress_to_tile(lr::CompressionKind::Rrqr, da.cview(), 1e-8);
+  const lr::Tile b = lr::compress_to_tile(lr::CompressionKind::Rrqr, db.cview(), 1e-8);
   for (auto _ : state) {
     auto p = lr::ab_t_product(a, b, lr::CompressionKind::Rrqr, 1e-8, true);
     benchmark::DoNotOptimize(p);
@@ -83,15 +83,14 @@ void BM_Lr2LrExtendAdd(benchmark::State& state) {
   Prng rng(11);
   const la::DMatrix dc = la::random_rank_k<real_t>(m, m, 24, rng);
   const la::DMatrix dp = la::random_rank_k<real_t>(m / 4, m / 4, 8, rng);
-  const lr::Block pb = lr::compress_to_block(kind, dp.cview(), 1e-8);
-  const lr::Block cb = lr::compress_to_block(kind, dc.cview(), 1e-8);
-  lr::Contribution p;
-  p.lowrank = true;
-  p.lr = pb.lr();
+  const lr::Tile pb = lr::compress_to_tile(kind, dp.cview(), 1e-8);
+  const lr::Tile cb = lr::compress_to_tile(kind, dc.cview(), 1e-8);
+  const lr::Tile p =
+      lr::Tile::make_lowrank(m / 4, m / 4, lr::LrMatrix(pb.lr()));
   for (auto _ : state) {
     // Re-installing the target's factors is two small copies — negligible
     // next to the recompression being measured.
-    lr::Block c = lr::Block::make_lowrank(m, m, lr::LrMatrix(cb.lr()));
+    lr::Tile c = lr::Tile::make_lowrank(m, m, lr::LrMatrix(cb.lr()));
     lr::lr2lr_add(c, p, m / 8, m / 8, kind, 1e-8);
     benchmark::DoNotOptimize(c);
   }

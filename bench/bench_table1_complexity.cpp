@@ -62,10 +62,10 @@ int main() {
     la::random_normal(bd.view(), rng);
     const la::DMatrix alr_d = la::random_rank_k<real_t>(m, m, kRank, rng);
     const la::DMatrix blr_d = la::random_rank_k<real_t>(m, m, kRank, rng);
-    const lr::Block alr =
-        lr::compress_to_block(lr::CompressionKind::Rrqr, alr_d.cview(), 1e-8);
-    const lr::Block blr =
-        lr::compress_to_block(lr::CompressionKind::Rrqr, blr_d.cview(), 1e-8);
+    const lr::Tile alr =
+        lr::compress_to_tile(lr::CompressionKind::Rrqr, alr_d.cview(), 1e-8);
+    const lr::Tile blr =
+        lr::compress_to_tile(lr::CompressionKind::Rrqr, blr_d.cview(), 1e-8);
 
     t_gemm.push_back(time_it(
         [&] {
@@ -89,13 +89,12 @@ int main() {
         reps));
 
     const la::DMatrix small = la::random_rank_k<real_t>(m / 4, m / 4, 8, rng);
-    const lr::Block pb = lr::compress_to_block(lr::CompressionKind::Rrqr, small.cview(), 1e-8);
-    lr::Contribution pc;
-    pc.lowrank = true;
-    pc.lr = pb.lr();
+    const lr::Tile pb = lr::compress_to_tile(lr::CompressionKind::Rrqr, small.cview(), 1e-8);
+    const lr::Tile pc =
+        lr::Tile::make_lowrank(m / 4, m / 4, lr::LrMatrix(pb.lr()));
     t_lr2lr.push_back(time_it(
         [&] {
-          lr::Block c = lr::Block::make_lowrank(m, m, lr::LrMatrix(alr.lr()));
+          lr::Tile c = lr::Tile::make_lowrank(m, m, lr::LrMatrix(alr.lr()));
           lr::lr2lr_add(c, pc, m / 8, m / 8, lr::CompressionKind::Rrqr, 1e-8);
         },
         reps));

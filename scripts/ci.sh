@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# CI matrix: a Debug build plus one build per sanitizer (reusing the
+# BLR_SANITIZE cache option), each with its own ctest selection, plus
+# clang-tidy on the numeric-engine headers.
+#
+#   scripts/ci.sh              # run every stage
+#   scripts/ci.sh debug        # one stage: debug | asan | ubsan | tsan | tidy
+#
+# Build trees go to build-ci-<stage>. The Debug stage exports
+# compile_commands.json and links it at the repo root for tooling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+JOBS="$(nproc)"
+
+# stage name -> BLR_SANITIZE value and ctest selection. Sanitized builds run
+# label subsets: ASan/UBSan take the whole suite; TSan (the slowest) takes
+# the concurrency-sensitive suites — the engine + fault labels and the
+# scheduler/determinism tests written for it.
+configure_and_build() { # <dir> <sanitize> [extra cmake args...]
+  local dir="$1" sanitize="$2"
+  shift 2
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
+        -DBLR_SANITIZE="$sanitize" "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_debug() {
+  configure_and_build build-ci-debug "" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  ln -sf build-ci-debug/compile_commands.json compile_commands.json
+  ctest --test-dir build-ci-debug --output-on-failure -j "$JOBS"
+}
+
+run_asan() {
+  configure_and_build build-ci-asan address
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+}
+
+run_ubsan() {
+  configure_and_build build-ci-ubsan undefined
+  ctest --test-dir build-ci-ubsan --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  configure_and_build build-ci-tsan thread
+  ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+        -L 'engine|fault'
+  ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+        -R 'thread_pool|ParallelDeterminism|Trace'
+}
+
+# clang-tidy over the headers introduced by the tile-centric engine. Fails
+# on any warning; skipped (not failed) when clang-tidy is not installed.
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "ci: clang-tidy not found, skipping the tidy stage"
+    return 0
+  fi
+  clang-tidy --warnings-as-errors='*' \
+      src/lowrank/tile.hpp src/core/kernels_dispatch.hpp \
+      src/core/update_policy.hpp \
+      -- -std=c++20 -x c++ -Isrc
+}
+
+STAGES=(debug asan ubsan tsan tidy)
+if [[ $# -gt 0 ]]; then STAGES=("$@"); fi
+for stage in "${STAGES[@]}"; do
+  echo "==== ci stage: $stage ===="
+  "run_$stage"
+done
+echo "==== ci: all stages passed ===="

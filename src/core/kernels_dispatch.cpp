@@ -1,0 +1,328 @@
+#include "core/kernels_dispatch.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "linalg/factorizations.hpp"
+
+namespace blr::core {
+
+const char* kernel_op_name(KernelOp op) {
+  switch (op) {
+    case KernelOp::Getrf: return "getrf";
+    case KernelOp::Potrf: return "potrf";
+    case KernelOp::Trsm: return "trsm";
+    case KernelOp::Gemm: return "gemm";
+    case KernelOp::Lr2Lr: return "lr2lr";
+    case KernelOp::Lr2Ge: return "lr2ge";
+    case KernelOp::Compress: return "compress";
+    case KernelOp::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t ctx_bytes(const KernelCtx& ctx) {
+  std::uint64_t b = 0;
+  if (ctx.a != nullptr) b += ctx.a->storage_bytes();
+  if (ctx.b != nullptr) b += ctx.b->storage_bytes();
+  if (ctx.c != nullptr) b += ctx.c->storage_bytes();
+  if (ctx.view.data != nullptr) {
+    b += static_cast<std::uint64_t>(ctx.view.rows) *
+         static_cast<std::uint64_t>(ctx.view.cols) * sizeof(real_t);
+  }
+  if (ctx.in.data != nullptr) {
+    b += static_cast<std::uint64_t>(ctx.in.rows) *
+         static_cast<std::uint64_t>(ctx.in.cols) * sizeof(real_t);
+  }
+  return b;
+}
+
+// ---- built-in kernels ----------------------------------------------------
+
+void k_getrf(KernelCtx& ctx) {
+  if (ctx.pivot_cutoff > 0) {
+    la::getrf_static(ctx.c->dense().view(), *ctx.piv, ctx.pivot_cutoff,
+                     ctx.replaced);
+    ctx.info = 0;
+  } else {
+    ctx.info = la::getrf(ctx.c->dense().view(), *ctx.piv);
+  }
+}
+
+void k_potrf(KernelCtx& ctx) { ctx.info = la::potrf(ctx.c->dense().view()); }
+
+void k_trsm_dense(KernelCtx& ctx) {
+  const la::DConstView diag = ctx.diag->cview();
+  la::DMatrix& d = ctx.c->dense();
+  if (!ctx.upper) {
+    if (ctx.llt) {
+      la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
+               la::Diag::NonUnit, real_t(1), diag, d.view());
+    } else {
+      la::trsm(la::Side::Right, la::Uplo::Upper, la::Trans::No,
+               la::Diag::NonUnit, real_t(1), diag, d.view());
+    }
+    return;
+  }
+  // U-side (LU mirror): local pivoting permutes the supernode's rows = the
+  // width axis of the stored transpose, i.e. column swaps here.
+  for (std::size_t j = 0; j < ctx.piv->size(); ++j) {
+    const index_t p = (*ctx.piv)[j];
+    if (p != static_cast<index_t>(j)) {
+      for (index_t r = 0; r < d.rows(); ++r)
+        std::swap(d(r, static_cast<index_t>(j)), d(r, p));
+    }
+  }
+  la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes, la::Diag::Unit,
+           real_t(1), diag, d.view());
+}
+
+void k_trsm_lowrank(KernelCtx& ctx) {
+  const la::DConstView diag = ctx.diag->cview();
+  la::DMatrix& v = ctx.c->lr().v;
+  if (!ctx.upper) {
+    if (ctx.llt) {
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
+               la::Diag::NonUnit, real_t(1), diag, v.view());
+    } else {
+      la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::Yes,
+               la::Diag::NonUnit, real_t(1), diag, v.view());
+    }
+    return;
+  }
+  // U-side: V rows carry the width axis — swap V rows, then unit-lower solve.
+  for (std::size_t j = 0; j < ctx.piv->size(); ++j) {
+    const index_t p = (*ctx.piv)[j];
+    if (p != static_cast<index_t>(j)) {
+      for (index_t r = 0; r < v.cols(); ++r)
+        std::swap(v(static_cast<index_t>(j), r), v(p, r));
+    }
+  }
+  la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::Unit,
+           real_t(1), diag, v.view());
+}
+
+void k_gemm_dense(KernelCtx& ctx) {
+  if (ctx.view.data != nullptr) {
+    // Fused: subtract A·Bᵗ (or its transpose, B·Aᵗ) straight into the view.
+    if (ctx.transpose) {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1),
+               ctx.b->dense().cview(), ctx.a->dense().cview(), real_t(1),
+               ctx.view);
+    } else {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1),
+               ctx.a->dense().cview(), ctx.b->dense().cview(), real_t(1),
+               ctx.view);
+    }
+    return;
+  }
+  ctx.out = lr::ab_t_product(*ctx.a, *ctx.b, ctx.kind, ctx.tolerance,
+                             ctx.need_ortho, ctx.out_cat);
+}
+
+void k_gemm_lr(KernelCtx& ctx) {
+  ctx.out = lr::ab_t_product(*ctx.a, *ctx.b, ctx.kind, ctx.tolerance,
+                             ctx.need_ortho, ctx.out_cat);
+}
+
+void k_lr2lr(KernelCtx& ctx) {
+  lr::lr2lr_add(*ctx.c, *ctx.a, ctx.roff, ctx.coff, ctx.kind, ctx.tolerance,
+                ctx.transpose);
+}
+
+void k_lr2ge(KernelCtx& ctx) {
+  if (ctx.c != nullptr) {
+    lr::add_contribution_dense(ctx.c->dense(), *ctx.a, ctx.roff, ctx.coff,
+                               ctx.transpose);
+  } else {
+    lr::apply_to_dense(*ctx.a, ctx.view, ctx.transpose);
+  }
+}
+
+void k_compress(KernelCtx& ctx) {
+  ctx.out_lr = lr::compress(ctx.kind, ctx.in, ctx.tolerance, ctx.max_rank);
+}
+
+} // namespace
+
+KernelDispatch& KernelDispatch::instance() {
+  static KernelDispatch d;
+  return d;
+}
+
+KernelDispatch::KernelDispatch() {
+  register_kernel(KernelOp::Getrf, Rep::Dense, Rep::None, "getrf[ge]",
+                  Kernel::BlockFactorization, k_getrf);
+  register_kernel(KernelOp::Potrf, Rep::Dense, Rep::None, "potrf[ge]",
+                  Kernel::BlockFactorization, k_potrf);
+  register_kernel(KernelOp::Trsm, Rep::Dense, Rep::None, "trsm[ge]",
+                  Kernel::PanelSolve, k_trsm_dense);
+  register_kernel(KernelOp::Trsm, Rep::LowRank, Rep::None, "trsm[lr]",
+                  Kernel::PanelSolve, k_trsm_lowrank);
+  register_kernel(KernelOp::Gemm, Rep::Dense, Rep::Dense, "gemm[ge,ge]",
+                  Kernel::DenseUpdate, k_gemm_dense);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, Rep::Dense, "gemm[lr,ge]",
+                  Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Gemm, Rep::Dense, Rep::LowRank, "gemm[ge,lr]",
+                  Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, Rep::LowRank, "gemm[lr,lr]",
+                  Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Lr2Lr, Rep::Dense, Rep::None, "lr2lr[ge]",
+                  Kernel::LrAddition, k_lr2lr);
+  register_kernel(KernelOp::Lr2Lr, Rep::LowRank, Rep::None, "lr2lr[lr]",
+                  Kernel::LrAddition, k_lr2lr);
+  register_kernel(KernelOp::Lr2Ge, Rep::Dense, Rep::None, "lr2ge[ge]",
+                  Kernel::DenseUpdate, k_lr2ge);
+  register_kernel(KernelOp::Lr2Ge, Rep::LowRank, Rep::None, "lr2ge[lr]",
+                  Kernel::DenseUpdate, k_lr2ge);
+  register_kernel(KernelOp::Compress, Rep::Dense, Rep::None, "compress[ge]",
+                  Kernel::Compression, k_compress);
+}
+
+void KernelDispatch::register_kernel(KernelOp op, Rep a, Rep b,
+                                     const char* name, Kernel timer,
+                                     KernelFn fn) {
+  Entry& e = at(op, a, b);
+  if (e.fn == nullptr) order_.push_back(&e);
+  e.name = name;
+  e.timer = timer;
+  e.fn = fn;
+}
+
+void KernelDispatch::run(KernelOp op, Rep a, Rep b, KernelCtx& ctx) {
+  Entry& e = at(op, a, b);
+  if (e.fn == nullptr) {
+    throw Error(std::string("no kernel registered for ") + kernel_op_name(op));
+  }
+  e.calls.fetch_add(1, std::memory_order_relaxed);
+  e.bytes.fetch_add(ctx_bytes(ctx), std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  e.fn(ctx);
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  e.nanos.fetch_add(ns, std::memory_order_relaxed);
+  KernelStats::instance().add(e.timer, ns);
+}
+
+std::vector<DispatchCount> KernelDispatch::snapshot() const {
+  std::vector<DispatchCount> out;
+  out.reserve(order_.size());
+  for (const Entry* e : order_) {
+    const std::uint64_t calls = e->calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    DispatchCount d;
+    d.kernel = e->name;
+    d.calls = calls;
+    d.bytes = e->bytes.load(std::memory_order_relaxed);
+    d.seconds =
+        static_cast<double>(e->nanos.load(std::memory_order_relaxed)) * 1e-9;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void KernelDispatch::reset_counters() {
+  for (auto& ops : table_) {
+    for (auto& rows : ops) {
+      for (auto& e : rows) {
+        e.calls.store(0, std::memory_order_relaxed);
+        e.bytes.store(0, std::memory_order_relaxed);
+        e.nanos.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+namespace dispatch {
+
+index_t factor_diag(lr::Tile& diag, std::vector<index_t>& piv, bool llt,
+                    real_t pivot_cutoff, index_t& replaced) {
+  KernelCtx ctx;
+  ctx.c = &diag;
+  ctx.piv = &piv;
+  ctx.pivot_cutoff = pivot_cutoff;
+  KernelDispatch::instance().run(llt ? KernelOp::Potrf : KernelOp::Getrf,
+                                 Rep::Dense, Rep::None, ctx);
+  replaced = ctx.replaced;
+  return ctx.info;
+}
+
+void panel_solve(const lr::Tile& diag, const std::vector<index_t>& piv,
+                 lr::Tile& blk, bool llt, bool upper) {
+  KernelCtx ctx;
+  ctx.c = &blk;
+  ctx.diag = &diag.dense();
+  ctx.piv = const_cast<std::vector<index_t>*>(&piv);
+  ctx.llt = llt;
+  ctx.upper = upper;
+  KernelDispatch::instance().run(KernelOp::Trsm, rep_of(blk), Rep::None, ctx);
+}
+
+lr::Tile product(const lr::Tile& a, const lr::Tile& b, lr::CompressionKind kind,
+                 real_t tol, bool need_ortho) {
+  KernelCtx ctx;
+  ctx.a = &a;
+  ctx.b = &b;
+  ctx.kind = kind;
+  ctx.tolerance = tol;
+  ctx.need_ortho = need_ortho;
+  ctx.out_cat = MemCategory::Workspace;
+  KernelDispatch::instance().run(KernelOp::Gemm, rep_of(a), rep_of(b), ctx);
+  return std::move(ctx.out);
+}
+
+void gemm_into(la::DView target, const lr::Tile& a, const lr::Tile& b,
+               bool transpose) {
+  KernelCtx ctx;
+  ctx.a = &a;
+  ctx.b = &b;
+  ctx.view = target;
+  ctx.transpose = transpose;
+  KernelDispatch::instance().run(KernelOp::Gemm, Rep::Dense, Rep::Dense, ctx);
+}
+
+void apply_contribution(la::DView target, const lr::Tile& p, bool transpose) {
+  KernelCtx ctx;
+  ctx.a = &p;
+  ctx.view = target;
+  ctx.transpose = transpose;
+  KernelDispatch::instance().run(KernelOp::Lr2Ge, rep_of(p), Rep::None, ctx);
+}
+
+void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
+                lr::CompressionKind kind, real_t tol, bool transpose) {
+  if (c.state() == lr::TileState::Factored) {
+    throw Error("extend-add into a tile that is already Factored");
+  }
+  KernelCtx ctx;
+  ctx.c = &c;
+  ctx.a = &p;
+  ctx.roff = roff;
+  ctx.coff = coff;
+  ctx.kind = kind;
+  ctx.tolerance = tol;
+  ctx.transpose = transpose;
+  KernelDispatch::instance().run(c.is_lowrank() ? KernelOp::Lr2Lr
+                                                : KernelOp::Lr2Ge,
+                                 rep_of(p), Rep::None, ctx);
+}
+
+std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
+                                     real_t tol, index_t max_rank) {
+  KernelCtx ctx;
+  ctx.in = a;
+  ctx.kind = kind;
+  ctx.tolerance = tol;
+  ctx.max_rank = max_rank;
+  KernelDispatch::instance().run(KernelOp::Compress, Rep::Dense, Rep::None,
+                                 ctx);
+  return std::move(ctx.out_lr);
+}
+
+} // namespace dispatch
+
+} // namespace blr::core

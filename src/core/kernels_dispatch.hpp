@@ -1,0 +1,154 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/kernel_stats.hpp"
+#include "core/stats.hpp"
+#include "lowrank/kernels.hpp"
+
+namespace blr::core {
+
+/// The numeric operations the factorization driver issues. Each combines
+/// with the operand representations below to select a concrete kernel.
+enum class KernelOp : int {
+  Getrf,     ///< diagonal-block LU (partial or static pivoting)
+  Potrf,     ///< diagonal-block Cholesky
+  Trsm,      ///< panel solve of one off-diagonal tile against the diagonal
+  Gemm,      ///< contribution product P = A·Bᵗ (fused in-place when dense)
+  Lr2Lr,     ///< extend-add of a contribution into a low-rank tile (§3.3.2)
+  Lr2Ge,     ///< extend-add of a contribution into dense storage
+  Compress,  ///< rank-revealing compression of a dense tile
+  kCount
+};
+
+/// Storage representation of an operand, the dispatch key dimension.
+enum class Rep : int { None = 0, Dense, LowRank, kCount };
+
+inline Rep rep_of(const lr::Tile& t) {
+  return t.is_lowrank() ? Rep::LowRank : Rep::Dense;
+}
+
+const char* kernel_op_name(KernelOp op);
+
+/// Argument bundle passed to every dispatched kernel. Only the fields the
+/// selected operation reads need to be set; the rest keep their defaults.
+struct KernelCtx {
+  lr::Tile* c = nullptr;        ///< in-out tile (diag, panel blok, EA target)
+  const lr::Tile* a = nullptr;  ///< left operand / contribution
+  const lr::Tile* b = nullptr;  ///< right operand
+  la::DView view;               ///< positioned dense destination (fused paths)
+  la::DConstView in;            ///< dense input (Compress)
+  const la::DMatrix* diag = nullptr;       ///< factored diagonal (Trsm)
+  std::vector<index_t>* piv = nullptr;     ///< pivots: out (Getrf), in (Trsm)
+  index_t roff = 0, coff = 0;   ///< target offsets (extend-add)
+  bool transpose = false;       ///< apply the transposed contribution
+  bool need_ortho = false;      ///< product must return an orthonormal U
+  bool llt = false;             ///< Cholesky-side triangular conventions
+  bool upper = false;           ///< U-panel tile (LU mirror; applies pivots)
+  lr::CompressionKind kind = lr::CompressionKind::Rrqr;
+  real_t tolerance = 0;
+  index_t max_rank = -1;        ///< compression rank cap (Compress)
+  real_t pivot_cutoff = 0;      ///< >0 selects static pivoting (Getrf)
+  MemCategory out_cat = MemCategory::Workspace;  ///< category of `out`
+  // Outputs.
+  lr::Tile out;                 ///< product result (Gemm, non-fused)
+  std::optional<lr::LrMatrix> out_lr;  ///< compression result (Compress)
+  index_t info = 0;             ///< LAPACK-style status (Getrf/Potrf)
+  index_t replaced = 0;         ///< static-pivot replacements (Getrf)
+};
+
+using KernelFn = void (*)(KernelCtx&);
+
+/// Registry of numeric kernels keyed on (operation, repA, repB). Every call
+/// is counted (invocations, operand bytes touched, wall time), timed into
+/// the existing KernelStats rows, and routed to the registered function —
+/// so a new kernel (another precision, another compression family) plugs in
+/// with register_kernel() and the driver loop never changes.
+class KernelDispatch {
+public:
+  static KernelDispatch& instance();
+
+  /// Install (or replace) the kernel for a key. `timer` selects the
+  /// KernelStats row the call time is charged to.
+  void register_kernel(KernelOp op, Rep a, Rep b, const char* name,
+                       Kernel timer, KernelFn fn);
+
+  /// Dispatch one call: counts, times, and runs the registered kernel.
+  /// Throws blr::Error when no kernel is registered for the key.
+  void run(KernelOp op, Rep a, Rep b, KernelCtx& ctx);
+
+  /// Per-kernel counters since the last reset, zero-call entries omitted,
+  /// in registration order.
+  [[nodiscard]] std::vector<DispatchCount> snapshot() const;
+  void reset_counters();
+
+  KernelDispatch(const KernelDispatch&) = delete;
+  KernelDispatch& operator=(const KernelDispatch&) = delete;
+
+private:
+  KernelDispatch();  // registers the built-in kernels
+
+  struct Entry {
+    const char* name = nullptr;
+    Kernel timer = Kernel::DenseUpdate;
+    KernelFn fn = nullptr;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> nanos{0};
+  };
+
+  static constexpr int kOps = static_cast<int>(KernelOp::kCount);
+  static constexpr int kReps = static_cast<int>(Rep::kCount);
+  Entry& at(KernelOp op, Rep a, Rep b) {
+    return table_[static_cast<int>(op)][static_cast<int>(a)][static_cast<int>(b)];
+  }
+  [[nodiscard]] const Entry& at(KernelOp op, Rep a, Rep b) const {
+    return table_[static_cast<int>(op)][static_cast<int>(a)][static_cast<int>(b)];
+  }
+
+  Entry table_[kOps][kReps][kReps];
+  std::vector<const Entry*> order_;  ///< registration order for snapshots
+};
+
+/// Driver-facing wrappers: each positions a KernelCtx and routes through the
+/// registry by the operands' representations.
+namespace dispatch {
+
+/// Factor the diagonal tile in place (LU with partial or static pivoting,
+/// or Cholesky). Returns the LAPACK-style info; `replaced` reports static-
+/// pivot substitutions.
+index_t factor_diag(lr::Tile& diag, std::vector<index_t>& piv, bool llt,
+                    real_t pivot_cutoff, index_t& replaced);
+
+/// TRSM one panel tile against the factored diagonal (U-side tiles apply
+/// the local pivots first).
+void panel_solve(const lr::Tile& diag, const std::vector<index_t>& piv,
+                 lr::Tile& blk, bool llt, bool upper);
+
+/// Contribution product P = A·Bᵗ as a Workspace tile.
+lr::Tile product(const lr::Tile& a, const lr::Tile& b, lr::CompressionKind kind,
+                 real_t tol, bool need_ortho);
+
+/// Fused dense×dense update: target -= A·Bᵗ (or B·Aᵗ when `transpose`).
+void gemm_into(la::DView target, const lr::Tile& a, const lr::Tile& b,
+               bool transpose);
+
+/// LR2GE onto a positioned dense view: target -= P (or Pᵗ).
+void apply_contribution(la::DView target, const lr::Tile& p, bool transpose);
+
+/// Extend-add a contribution into a tile at (roff, coff), routed LR2LR or
+/// LR2GE by the target's representation. Throws if the target is Factored.
+void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
+                lr::CompressionKind kind, real_t tol, bool transpose);
+
+/// Rank-revealing compression of a dense view (counted/timed); nullopt when
+/// the tolerance is unreachable within max_rank.
+std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
+                                     real_t tol, index_t max_rank);
+
+} // namespace dispatch
+
+} // namespace blr::core

@@ -8,7 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/kernel_stats.hpp"
-#include "linalg/factorizations.hpp"
+#include "core/kernels_dispatch.hpp"
 
 namespace blr::core {
 
@@ -23,10 +23,10 @@ bool all_finite(const la::DMatrix& m) {
   return true;
 }
 
-bool all_finite(const lr::Block& b) {
-  if (b.rank() == 0) return true;
-  if (b.is_lowrank()) return all_finite(b.lr().u) && all_finite(b.lr().v);
-  return all_finite(b.dense());
+bool all_finite(const lr::Tile& t) {
+  if (t.rank() == 0) return true;
+  if (t.is_lowrank()) return all_finite(t.lr().u) && all_finite(t.lr().v);
+  return all_finite(t.dense());
 }
 
 /// Index of the blok (within cblk c) whose row interval contains `row`.
@@ -73,6 +73,11 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
     for (const real_t v : a.values()) amax = std::max(amax, std::abs(v));
     pivot_cutoff_ = opts_.pivot_threshold * amax;
   }
+  policy_ = make_update_policy(opts_);
+  pctx_.kind = opts_.kind;
+  pctx_.tolerance = opts_.tolerance;
+  pctx_.adaptive_rank_fraction = opts_.adaptive_rank_fraction;
+  pctx_.compression_site = [this](index_t k) { maybe_fail_compression(k); };
   ap_ = a.permuted(ord_.perm);
   if (!llt_) apt_ = ap_.transposed();
   input_track_ = TrackedAlloc(
@@ -164,11 +169,11 @@ void NumericFactor::maybe_fail_compression(index_t k) {
 }
 
 void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
-                                 std::vector<lr::Block>& panel, bool fill_diag) {
+                                 std::vector<lr::Tile>& panel, bool fill_diag) {
   const symbolic::Cblk& c = sf_.cblk(k);
   const index_t w = c.width();
   CblkData& cd = data_[static_cast<std::size_t>(k)];
-  const bool minmem = opts_.strategy == Strategy::MinimalMemory;
+  la::DMatrix& diag = cd.diag.dense();
 
   std::vector<la::DMatrix> scratch;
   scratch.reserve(c.bloks.size());
@@ -184,7 +189,7 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
       const real_t v = values[static_cast<std::size_t>(p)];
       if (i < c.fcol) continue;  // upper part, owned by an earlier cblk
       if (i < c.lcol) {
-        if (fill_diag) cd.diag(i - c.fcol, j - c.fcol) = v;
+        if (fill_diag) diag(i - c.fcol, j - c.fcol) = v;
         continue;
       }
       const index_t idx = find_blok_row(c, i);
@@ -193,24 +198,23 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
     }
   }
 
+  // The policy decides each tile's representation (Minimal-Memory and
+  // Adaptive compress here; Dense and Just-In-Time keep the gathered dense).
   panel.reserve(c.bloks.size());
   for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
-    if (minmem && compressible(k, c.bloks[idx])) {
-      maybe_fail_compression(k);
-      KernelTimer t(Kernel::Compression);
-      panel.push_back(lr::compress_to_block(opts_.kind, scratch[idx].cview(),
-                                            opts_.tolerance));
-    } else {
-      panel.push_back(lr::Block::from_dense(std::move(scratch[idx])));
-    }
+    lr::Tile t =
+        policy_->assemble(k, std::move(scratch[idx]),
+                          compressible(k, c.bloks[idx]), pctx_, cd.arena);
+    t.advance(lr::TileState::Assembled);
+    if (t.is_lowrank()) t.advance(lr::TileState::Compressed);
+    panel.push_back(std::move(t));
   }
 }
 
 void NumericFactor::assemble_cblk(index_t k) {
   const symbolic::Cblk& c = sf_.cblk(k);
   CblkData& cd = data_[static_cast<std::size_t>(k)];
-  cd.diag = la::DMatrix(c.width(), c.width());
-  cd.diag_track = TrackedAlloc(MemCategory::Factors, cd.diag.bytes());
+  cd.diag = lr::Tile::make_dense(c.width(), c.width(), cd.arena);
   gather_panel(k, ap_, cd.lpanel, /*fill_diag=*/true);
   if (!llt_) gather_panel(k, apt_, cd.upanel, /*fill_diag=*/false);
   if (opts_.fault.kind == FaultInjection::Kind::PoisonBlock &&
@@ -218,33 +222,42 @@ void NumericFactor::assemble_cblk(index_t k) {
     // Injected data corruption: the non-finite assembly guard below (or the
     // factored-panel guard, when check_finite is off at assembly) must turn
     // this into a structured failure instead of a garbage answer.
-    cd.diag(0, 0) = std::numeric_limits<real_t>::quiet_NaN();
+    cd.diag.dense()(0, 0) = std::numeric_limits<real_t>::quiet_NaN();
   }
   if (opts_.check_finite) check_cblk_finite(k, FailureKind::NonFiniteBlock);
+  cd.diag.advance(lr::TileState::Assembled);
   if (opts_.accumulate_updates) {
-    cd.lacc.resize(c.bloks.size());
-    if (!llt_) cd.uacc.resize(c.bloks.size());
-    cd.acc_track = TrackedAlloc(MemCategory::Workspace, 0);
+    // Rank-0 low-rank tiles in the Workspace arena; appended contributions
+    // grow them until a flush folds them into the panel tile.
+    cd.lacc.reserve(c.bloks.size());
+    for (const auto& b : c.bloks) {
+      cd.lacc.push_back(lr::Tile::make_lowrank(b.height(), c.width(),
+                                               lr::LrMatrix(), cd.acc_arena));
+    }
+    if (!llt_) {
+      cd.uacc.reserve(c.bloks.size());
+      for (const auto& b : c.bloks) {
+        cd.uacc.push_back(lr::Tile::make_lowrank(b.height(), c.width(),
+                                                 lr::LrMatrix(), cd.acc_arena));
+      }
+    }
   }
 }
 
 void NumericFactor::flush_accumulator(index_t cblk, bool upper, index_t blok_idx) {
   CblkData& cd = data_[static_cast<std::size_t>(cblk)];
   auto& accs = upper ? cd.uacc : cd.lacc;
-  lr::LrMatrix& acc = accs[static_cast<std::size_t>(blok_idx)];
-  if (acc.rank() == 0) return;
+  lr::Tile& acc = accs[static_cast<std::size_t>(blok_idx)];
+  if (acc.rank() <= 0) return;
 
-  const std::size_t freed = acc.entries() * sizeof(real_t);
-  lr::Contribution p;
-  p.lowrank = true;
-  p.lr = std::move(acc);
-  acc = lr::LrMatrix();
-  cd.acc_track.resize(cd.acc_track.bytes() - freed);
+  const index_t rows = acc.rows();
+  const index_t cols = acc.cols();
+  lr::Tile p = std::move(acc);  // Workspace accounting moves with it
+  acc = lr::Tile::make_lowrank(rows, cols, lr::LrMatrix(), cd.acc_arena);
 
-  lr::Block& tb = (upper ? cd.upanel : cd.lpanel)[static_cast<std::size_t>(blok_idx)];
-  KernelTimer t(Kernel::LrAddition);
+  lr::Tile& tb = (upper ? cd.upanel : cd.lpanel)[static_cast<std::size_t>(blok_idx)];
   // The accumulator is already padded to the block's shape.
-  lr::lr2lr_add(tb, p, 0, 0, opts_.kind, opts_.tolerance, false);
+  dispatch::extend_add(tb, p, 0, 0, opts_.kind, opts_.tolerance, false);
 }
 
 void NumericFactor::flush_all_accumulators(index_t cblk) {
@@ -470,120 +483,70 @@ void NumericFactor::factor_panel(index_t k) {
       // pivoting finds nothing (getrf) / the pivot is non-positive (potrf).
       // Static pivoting, when enabled, replaces the pivot instead — the
       // injected fault exercises the same masking a real tiny pivot would.
-      for (index_t i = 0; i < cd.diag.rows(); ++i) cd.diag(i, 0) = 0;
-      cd.diag(0, 0) = 0;
+      la::DMatrix& dg = cd.diag.dense();
+      for (index_t i = 0; i < dg.rows(); ++i) dg(i, 0) = 0;
+      dg(0, 0) = 0;
     }
 
     {
-      KernelTimer t(Kernel::BlockFactorization);
-      if (!llt_ && pivot_cutoff_ > 0) {
-        index_t replaced = 0;
-        la::getrf_static(cd.diag.view(), cd.ipiv, pivot_cutoff_, replaced);
-        if (replaced > 0)
-          pivots_replaced_.fetch_add(replaced, std::memory_order_relaxed);
-      } else {
-        const index_t info = llt_ ? la::potrf(cd.diag.view())
-                                  : la::getrf(cd.diag.view(), cd.ipiv);
-        if (info != 0) {
-          const index_t piv = info - 1;
-          const double mag = std::abs(static_cast<double>(cd.diag(piv, piv)));
-          std::ostringstream os;
-          os << (llt_ ? "potrf" : "getrf") << " cannot eliminate the pivot";
-          fail(make_report(llt_ ? FailureKind::NonPositivePivot
-                                : FailureKind::ZeroPivot,
-                           k, piv, mag, os.str()));
-        }
+      index_t replaced = 0;
+      const index_t info =
+          dispatch::factor_diag(cd.diag, cd.ipiv, llt_, pivot_cutoff_, replaced);
+      if (replaced > 0)
+        pivots_replaced_.fetch_add(replaced, std::memory_order_relaxed);
+      if (info != 0) {
+        const index_t piv = info - 1;
+        const double mag =
+            std::abs(static_cast<double>(cd.diag.dense()(piv, piv)));
+        std::ostringstream os;
+        os << (llt_ ? "potrf" : "getrf") << " cannot eliminate the pivot";
+        fail(make_report(llt_ ? FailureKind::NonPositivePivot
+                              : FailureKind::ZeroPivot,
+                         k, piv, mag, os.str()));
       }
     }
     if (failed_.load(std::memory_order_relaxed)) return;
 
-    // Just-In-Time: compress the accumulated panels now (Algorithm 2 l.3-4).
-    // Minimal-Memory re-attempts the blocks that fell back to dense when an
-    // extend-add transiently exceeded the storage-beneficial rank: their
-    // final rank is often low again, and this keeps the final factor size
-    // of both scenarios similar, as the paper reports.
-    if (opts_.strategy != Strategy::Dense) {
-      const auto compress_panel = [&](std::vector<lr::Block>& panel) {
+    // Elimination-time policy hook: Just-In-Time compresses the accumulated
+    // panels now (Algorithm 2 l.3-4); Minimal-Memory and Adaptive re-attempt
+    // the blocks that are (still) dense — e.g. after an extend-add
+    // transiently exceeded the storage-beneficial rank — which keeps the
+    // final factor size of the scenarios similar, as the paper reports.
+    {
+      const auto hook_panel = [&](std::vector<lr::Tile>& panel) {
         for (std::size_t idx = 0; idx < panel.size(); ++idx) {
           // Early exit at panel granularity once a sibling has failed.
           if (failed_.load(std::memory_order_relaxed)) return;
-          lr::Block& blk = panel[idx];
-          if (blk.is_lowrank() || !compressible(k, c.bloks[idx])) continue;
-          maybe_fail_compression(k);
-          KernelTimer t(Kernel::Compression);
-          auto lrm = lr::compress(opts_.kind, blk.dense().cview(), opts_.tolerance,
-                                  lr::beneficial_rank_limit(blk.rows(), blk.cols()));
-          if (lrm) blk.set_lowrank(std::move(*lrm));
+          policy_->at_elimination(k, panel[idx],
+                                  compressible(k, c.bloks[idx]), pctx_);
         }
       };
-      compress_panel(cd.lpanel);
-      if (!llt_) compress_panel(cd.upanel);
+      hook_panel(cd.lpanel);
+      if (!llt_) hook_panel(cd.upanel);
       if (failed_.load(std::memory_order_relaxed)) return;
     }
 
-    {
-      KernelTimer t(Kernel::PanelSolve);
-      for (auto& blk : cd.lpanel) {
-        if (failed_.load(std::memory_order_relaxed)) return;
-        if (blk.rank() == 0) continue;
-        if (llt_) {
-          if (blk.is_lowrank()) {
-            la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
-                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
-                     blk.lr().v.view());
-          } else {
-            la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
-                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
-                     blk.dense().view());
-          }
-        } else {
-          if (blk.is_lowrank()) {
-            la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::Yes,
-                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
-                     blk.lr().v.view());
-          } else {
-            la::trsm(la::Side::Right, la::Uplo::Upper, la::Trans::No,
-                     la::Diag::NonUnit, real_t(1), cd.diag.cview(),
-                     blk.dense().view());
-          }
-        }
+    for (auto& blk : cd.lpanel) {
+      if (failed_.load(std::memory_order_relaxed)) return;
+      if (blk.rank() != 0) {
+        dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, /*upper=*/false);
       }
-      if (!llt_) {
-        for (auto& blk : cd.upanel) {
-          if (failed_.load(std::memory_order_relaxed)) return;
-          if (blk.rank() == 0) continue;
-          // Local pivoting permutes the supernode's rows = the width axis of
-          // the stored transpose: column swaps (dense) / V row swaps (LR).
-          if (blk.is_lowrank()) {
-            la::DMatrix& v = blk.lr().v;
-            for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
-              const index_t p = cd.ipiv[j];
-              if (p != static_cast<index_t>(j)) {
-                for (index_t r = 0; r < v.cols(); ++r)
-                  std::swap(v(static_cast<index_t>(j), r), v(p, r));
-              }
-            }
-            la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
-                     la::Diag::Unit, real_t(1), cd.diag.cview(), blk.lr().v.view());
-          } else {
-            la::DMatrix& d = blk.dense();
-            for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
-              const index_t p = cd.ipiv[j];
-              if (p != static_cast<index_t>(j)) {
-                for (index_t r = 0; r < d.rows(); ++r)
-                  std::swap(d(r, static_cast<index_t>(j)), d(r, p));
-              }
-            }
-            la::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::Yes,
-                     la::Diag::Unit, real_t(1), cd.diag.cview(), d.view());
-          }
+      blk.advance(lr::TileState::Factored);
+    }
+    if (!llt_) {
+      for (auto& blk : cd.upanel) {
+        if (failed_.load(std::memory_order_relaxed)) return;
+        if (blk.rank() != 0) {
+          dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, /*upper=*/true);
         }
+        blk.advance(lr::TileState::Factored);
       }
     }
     // Guard the factored panel: overflow/NaN escaping the diagonal
     // factorization or the triangular solves is caught here instead of
     // surfacing as an inexplicably wrong solution.
     if (opts_.check_finite) check_cblk_finite(k, FailureKind::NonFinitePanel);
+    cd.diag.advance(lr::TileState::Factored);
     cd.eliminated = true;
   }
 }
@@ -593,9 +556,9 @@ index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
   const symbolic::Blok& rb = c.bloks[static_cast<std::size_t>(bi)];  // rows
   const symbolic::Blok& cb = c.bloks[static_cast<std::size_t>(bj)];  // cols
   CblkData& cd = data_[static_cast<std::size_t>(k)];
-  const lr::Block& a = cd.lpanel[static_cast<std::size_t>(bi)];
-  const lr::Block& b = llt_ ? cd.lpanel[static_cast<std::size_t>(bj)]
-                            : cd.upanel[static_cast<std::size_t>(bj)];
+  const lr::Tile& a = cd.lpanel[static_cast<std::size_t>(bi)];
+  const lr::Tile& b = llt_ ? cd.lpanel[static_cast<std::size_t>(bj)]
+                           : cd.upanel[static_cast<std::size_t>(bj)];
 
   // Locate the target: diagonal block when both intervals live in the same
   // supernode; otherwise the L blok of the earlier cblk (lower triangle) or,
@@ -633,103 +596,85 @@ index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
 
   if (!a.is_lowrank() && !b.is_lowrank()) {
     // Dense x dense: fuse the GEMM straight into a dense target; only a
-    // low-rank target (Minimal-Memory) needs an explicit contribution.
+    // low-rank target needs an explicit contribution.
     std::lock_guard guard(lock);
-    la::DView tview;
     if (target_diag) {
-      tview = td.diag.sub(roff, coff, rb.height(), cb.height());
-    } else {
-      lr::Block& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
-                                   : td.lpanel[static_cast<std::size_t>(tb_idx)];
-      if (tb.is_lowrank()) {
-        lr::Contribution p;
-        p.lowrank = false;
-        p.dense = la::DMatrix(rb.height(), cb.height());
-        {
-          KernelTimer t(Kernel::DenseUpdate);
-          la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), a.dense().cview(),
-                   b.dense().cview(), real_t(0), p.dense.view());
-        }
-        KernelTimer t(Kernel::LrAddition);
-        lr::lr2lr_add(tb, p, roff, coff, opts_.kind, opts_.tolerance, transpose);
-        return tcblk;
-      }
-      // roff/coff are already expressed in the target block's coordinates;
-      // only the contribution's dimensions swap under transposition.
-      tview = tb.dense().sub(roff, coff,
-                             transpose ? cb.height() : rb.height(),
-                             transpose ? rb.height() : cb.height());
-      // For the transposed mirror target, subtract (A·Bᵗ)ᵗ = B·Aᵗ.
-      KernelTimer t(Kernel::DenseUpdate);
-      if (transpose) {
-        la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), b.dense().cview(),
-                 a.dense().cview(), real_t(1), tview);
-      } else {
-        la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.dense().cview(),
-                 b.dense().cview(), real_t(1), tview);
-      }
+      dispatch::gemm_into(
+          td.diag.dense().sub(roff, coff, rb.height(), cb.height()), a, b,
+          /*transpose=*/false);
       return tcblk;
     }
-    KernelTimer t(Kernel::DenseUpdate);
-    la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.dense().cview(),
-             b.dense().cview(), real_t(1), tview);
+    lr::Tile& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
+                                : td.lpanel[static_cast<std::size_t>(tb_idx)];
+    if (tb.is_lowrank()) {
+      lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance,
+                                     /*need_ortho=*/false);
+      dispatch::extend_add(tb, p, roff, coff, opts_.kind, opts_.tolerance,
+                           transpose);
+      return tcblk;
+    }
+    // roff/coff are already expressed in the target block's coordinates;
+    // only the contribution's dimensions swap under transposition. The
+    // fused kernel subtracts (A·Bᵗ)ᵗ = B·Aᵗ for the transposed mirror.
+    la::DView tview = tb.dense().sub(roff, coff,
+                                     transpose ? cb.height() : rb.height(),
+                                     transpose ? rb.height() : cb.height());
+    dispatch::gemm_into(tview, a, b, transpose);
     return tcblk;
   }
 
   // At least one low-rank operand: form the contribution outside the lock.
-  const bool need_ortho = opts_.strategy == Strategy::MinimalMemory;
-  lr::Contribution p;
-  {
-    KernelTimer t(Kernel::LrProduct);
-    p = ab_t_product(a, b, opts_.kind, opts_.tolerance, need_ortho);
+  // The orthonormality requirement keys off the target's representation as
+  // decided at assembly (immutable, unlike the live tag, so safe to read
+  // without the target lock).
+  bool target_assembled_lowrank = false;
+  if (!target_diag) {
+    const lr::Tile& tbc = target_upper
+                              ? td.upanel[static_cast<std::size_t>(tb_idx)]
+                              : td.lpanel[static_cast<std::size_t>(tb_idx)];
+    target_assembled_lowrank = tbc.assembled_lowrank();
   }
-  if (p.lowrank && p.rank() == 0) return tcblk;
+  const bool need_ortho = policy_->need_ortho(target_assembled_lowrank);
+  lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance, need_ortho);
+  if (p.is_lowrank() && p.rank() == 0) return tcblk;
 
   std::lock_guard guard(lock);
   if (target_diag) {
-    KernelTimer t(Kernel::DenseUpdate);
-    lr::apply_to_dense(p, td.diag.sub(roff, coff, rb.height(), cb.height()), false);
-  } else {
-    lr::Block& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
-                                 : td.lpanel[static_cast<std::size_t>(tb_idx)];
-    if (tb.is_lowrank()) {
-      if (opts_.accumulate_updates && p.lowrank) {
-        // LUAR accumulation: append the padded contribution factors and
-        // defer the (expensive, target-sized) recompression.
-        KernelTimer t(Kernel::LrAddition);
-        la::DConstView pu = transpose ? p.lr.v.cview() : p.lr.u.cview();
-        la::DConstView pv = transpose ? p.lr.u.cview() : p.lr.v.cview();
-        lr::LrMatrix& acc = (target_upper ? td.uacc : td.lacc)[static_cast<std::size_t>(tb_idx)];
-        const index_t old_rank = acc.rank();
-        la::DMatrix nu(tb.rows(), old_rank + pu.cols);
-        la::DMatrix nv(tb.cols(), old_rank + pu.cols);
-        if (old_rank > 0) {
-          la::copy<real_t>(acc.u.cview(), nu.sub(0, 0, tb.rows(), old_rank));
-          la::copy<real_t>(acc.v.cview(), nv.sub(0, 0, tb.cols(), old_rank));
-        }
-        const index_t blok_roff =
-            roff + 0;  // contribution row offset within the block
-        for (index_t j = 0; j < pu.cols; ++j) {
-          std::copy_n(pu.col(j), pu.rows,
-                      nu.data() + (old_rank + j) * tb.rows() + blok_roff);
-          std::copy_n(pv.col(j), pv.rows,
-                      nv.data() + (old_rank + j) * tb.cols() + coff);
-        }
-        const std::size_t before = acc.entries() * sizeof(real_t);
-        acc = lr::LrMatrix(std::move(nu), std::move(nv));
-        td.acc_track.resize(td.acc_track.bytes() - before +
-                            acc.entries() * sizeof(real_t));
-        if (acc.rank() >= opts_.accumulate_max_rank) {
-          flush_accumulator(tcblk, target_upper, tb_idx);
-        }
-      } else {
-        KernelTimer t(Kernel::LrAddition);
-        lr::lr2lr_add(tb, p, roff, coff, opts_.kind, opts_.tolerance, transpose);
-      }
-    } else {
-      KernelTimer t(Kernel::DenseUpdate);
-      lr::add_contribution_dense(tb.dense(), p, roff, coff, transpose);
+    dispatch::apply_contribution(
+        td.diag.dense().sub(roff, coff, rb.height(), cb.height()), p,
+        /*transpose=*/false);
+    return tcblk;
+  }
+  lr::Tile& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
+                              : td.lpanel[static_cast<std::size_t>(tb_idx)];
+  if (tb.is_lowrank() && opts_.accumulate_updates && p.is_lowrank()) {
+    // LUAR accumulation: append the padded contribution factors and defer
+    // the (expensive, target-sized) recompression.
+    KernelTimer t(Kernel::LrAddition);
+    la::DConstView pu = transpose ? p.lr().v.cview() : p.lr().u.cview();
+    la::DConstView pv = transpose ? p.lr().u.cview() : p.lr().v.cview();
+    lr::Tile& acc =
+        (target_upper ? td.uacc : td.lacc)[static_cast<std::size_t>(tb_idx)];
+    const index_t old_rank = acc.rank();
+    la::DMatrix nu(tb.rows(), old_rank + pu.cols);
+    la::DMatrix nv(tb.cols(), old_rank + pu.cols);
+    if (old_rank > 0) {
+      la::copy<real_t>(acc.lr().u.cview(), nu.sub(0, 0, tb.rows(), old_rank));
+      la::copy<real_t>(acc.lr().v.cview(), nv.sub(0, 0, tb.cols(), old_rank));
     }
+    for (index_t j = 0; j < pu.cols; ++j) {
+      std::copy_n(pu.col(j), pu.rows,
+                  nu.data() + (old_rank + j) * tb.rows() + roff);
+      std::copy_n(pv.col(j), pv.rows,
+                  nv.data() + (old_rank + j) * tb.cols() + coff);
+    }
+    acc.set_lowrank(lr::LrMatrix(std::move(nu), std::move(nv)));
+    if (acc.rank() >= opts_.accumulate_max_rank) {
+      flush_accumulator(tcblk, target_upper, tb_idx);
+    }
+  } else {
+    dispatch::extend_add(tb, p, roff, coff, opts_.kind, opts_.tolerance,
+                         transpose);
   }
   return tcblk;
 }
@@ -744,6 +689,7 @@ void NumericFactor::solve_permuted(la::DView x) const {
   for (index_t k = 0; k < ncblk; ++k) {
     const symbolic::Cblk& c = sf_.cblk(k);
     const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    const la::DConstView diag = cd.diag.dense().cview();
     la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
     if (!llt_) {
       for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
@@ -754,13 +700,13 @@ void NumericFactor::solve_permuted(la::DView x) const {
         }
       }
       la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::Unit,
-               real_t(1), cd.diag.cview(), xk);
+               real_t(1), diag, xk);
     } else {
       la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::NonUnit,
-               real_t(1), cd.diag.cview(), xk);
+               real_t(1), diag, xk);
     }
     for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
-      const lr::Block& blk = cd.lpanel[idx];
+      const lr::Tile& blk = cd.lpanel[idx];
       if (blk.rank() == 0) continue;
       la::DView xi = x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
       if (blk.is_lowrank()) {
@@ -780,9 +726,10 @@ void NumericFactor::solve_permuted(la::DView x) const {
   for (index_t k = ncblk - 1; k >= 0; --k) {
     const symbolic::Cblk& c = sf_.cblk(k);
     const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    const la::DConstView diag = cd.diag.dense().cview();
     la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
     for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
-      const lr::Block& blk = llt_ ? cd.lpanel[idx] : cd.upanel[idx];
+      const lr::Tile& blk = llt_ ? cd.lpanel[idx] : cd.upanel[idx];
       if (blk.rank() == 0) continue;
       const la::DConstView xi =
           x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
@@ -800,10 +747,10 @@ void NumericFactor::solve_permuted(la::DView x) const {
     }
     if (llt_) {
       la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::Yes, la::Diag::NonUnit,
-               real_t(1), cd.diag.cview(), xk);
+               real_t(1), diag, xk);
     } else {
       la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit,
-               real_t(1), cd.diag.cview(), xk);
+               real_t(1), diag, xk);
     }
   }
 }
@@ -832,7 +779,7 @@ std::size_t NumericFactor::final_entries() const {
   std::size_t e = 0;
   for (index_t k = 0; k < sf_.num_cblks(); ++k) {
     const CblkData& cd = data_[static_cast<std::size_t>(k)];
-    e += static_cast<std::size_t>(cd.diag.size());
+    e += cd.diag.storage_entries();
     for (const auto& blk : cd.lpanel) e += blk.storage_entries();
     for (const auto& blk : cd.upanel) e += blk.storage_entries();
   }
@@ -875,6 +822,27 @@ double NumericFactor::average_rank() const {
     }
   }
   return count > 0 ? static_cast<double>(total) / static_cast<double>(count) : 0.0;
+}
+
+double NumericFactor::dense_block_fraction() const {
+  index_t comp = 0;
+  index_t dense = 0;
+  for (index_t k = 0; k < sf_.num_cblks(); ++k) {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
+      if (!compressible(k, c.bloks[idx])) continue;
+      if (idx < cd.lpanel.size()) {
+        ++comp;
+        if (!cd.lpanel[idx].is_lowrank()) ++dense;
+      }
+      if (idx < cd.upanel.size()) {
+        ++comp;
+        if (!cd.upanel[idx].is_lowrank()) ++dense;
+      }
+    }
+  }
+  return comp > 0 ? static_cast<double>(dense) / static_cast<double>(comp) : 0.0;
 }
 
 } // namespace blr::core

@@ -11,27 +11,30 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/options.hpp"
+#include "core/update_policy.hpp"
 #include "lowrank/kernels.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic.hpp"
 
 namespace blr::core {
 
-/// Numeric storage for one column block: the dense diagonal block plus the
-/// L panel (and, for LU, the transposed-U panel) as dense or low-rank blocks
-/// following the symbolic structure.
+/// Numeric storage for one column block: every block — diagonal, L panel,
+/// (for LU) transposed-U panel, LUAR accumulators — is a lr::Tile charged to
+/// one of the supernode's arenas. The arenas are declared before the tiles
+/// so tiles discharge first on destruction.
 struct CblkData {
-  la::DMatrix diag;
-  TrackedAlloc diag_track;
-  std::vector<lr::Block> lpanel;
-  std::vector<lr::Block> upanel;        ///< empty for LLᵗ
+  lr::TileArena arena{MemCategory::Factors};          ///< factor tiles
+  lr::TileArena acc_arena{MemCategory::Workspace};    ///< LUAR accumulators
+  lr::Tile diag;                        ///< dense diagonal tile
+  std::vector<lr::Tile> lpanel;
+  std::vector<lr::Tile> upanel;         ///< empty for LLᵗ
   std::vector<index_t> ipiv;            ///< local pivots (LU diagonal block)
-  /// LUAR accumulators (one per panel block, empty = inactive): padded
-  /// [U_acc, V_acc] factors of pending contributions awaiting one combined
-  /// extend-add. Only used with options.accumulate_updates.
-  std::vector<lr::LrMatrix> lacc;
-  std::vector<lr::LrMatrix> uacc;
-  TrackedAlloc acc_track;
+  /// LUAR accumulators (one per panel block, rank 0 = inactive): low-rank
+  /// tiles holding the padded [U_acc, V_acc] factors of pending
+  /// contributions awaiting one combined extend-add. Only used with
+  /// options.accumulate_updates.
+  std::vector<lr::Tile> lacc;
+  std::vector<lr::Tile> uacc;
   bool eliminated = false;
 };
 
@@ -46,9 +49,11 @@ struct TraceEvent {
   double end;
 };
 
-/// The supernodal right-looking numeric factorization implementing the
-/// three strategies of the paper (Dense baseline, Just-In-Time, Minimal
-/// Memory), for both LU (general, symmetric pattern) and LLᵗ (SPD).
+/// The supernodal numeric factorization: one right-looking driver over
+/// tiles, parameterized by an UpdatePolicy (Dense baseline, Just-In-Time,
+/// Minimal Memory, Adaptive), for both LU (general, symmetric pattern) and
+/// LLᵗ (SPD). All numeric operations route through the KernelDispatch
+/// registry.
 class NumericFactor {
 public:
   /// Assembles the (permuted) initial matrix into the block structure.
@@ -86,7 +91,11 @@ public:
   [[nodiscard]] std::size_t final_entries() const;
   [[nodiscard]] index_t num_lowrank_blocks() const;
   [[nodiscard]] index_t num_dense_blocks() const;
+  /// Mean rank over the final low-rank blocks (dense blocks excluded).
   [[nodiscard]] double average_rank() const;
+  /// Fraction of compressible panel blocks that ended dense (fallbacks plus
+  /// policy keep-dense decisions); 0 when nothing is compressible.
+  [[nodiscard]] double dense_block_fraction() const;
   [[nodiscard]] index_t pivots_replaced() const {
     return pivots_replaced_.load(std::memory_order_relaxed);
   }
@@ -103,13 +112,14 @@ private:
   void assemble_all();
   void assemble_cblk(index_t k);
   void gather_panel(index_t k, const sparse::CscMatrix& src,
-                    std::vector<lr::Block>& panel, bool fill_diag);
+                    std::vector<lr::Tile>& panel, bool fill_diag);
   void eliminate(index_t k);
   /// Apply the right-looking updates of supernode k for column bloks
   /// [jb, je), draining dependency counters and submitting (with their
   /// critical-path priority) the successors that become ready.
   void update_range(index_t k, index_t jb, index_t je);
-  /// Diagonal factorization + (JIT) compression + panel solves of cblk k.
+  /// Diagonal factorization + policy elimination hook + panel solves of
+  /// cblk k.
   void factor_panel(index_t k);
   void factorize_left_looking();
   /// Apply the (i,j) update produced by supernode k; returns the target cblk.
@@ -140,6 +150,11 @@ private:
   const symbolic::SymbolicFactor& sf_;
   SolverOptions opts_;
   bool llt_;
+
+  /// The strategy object the driver is parameterized by, plus the context
+  /// its decisions run in (compression config + fault-injection hook).
+  std::unique_ptr<UpdatePolicy> policy_;
+  PolicyContext pctx_;
 
   // Permuted input (and its transpose for the U side). Kept alive for the
   // left-looking schedule, which assembles supernodes lazily; released after

@@ -13,11 +13,18 @@
 
 namespace blr::core {
 
-/// The three factorization scenarios compared in the paper.
+/// The factorization scenarios: the three compared in the paper plus a
+/// per-block Adaptive policy this library adds on top.
 enum class Strategy {
   Dense,          ///< original PaStiX: every block dense (the baseline)
   JustInTime,     ///< Algorithm 2: compress a panel when its supernode is eliminated (LR2GE updates)
   MinimalMemory,  ///< Algorithm 1: compress A up front, maintain LR through the factorization (LR2LR updates)
+  Adaptive,       ///< per-block decision: compress up front only where the
+                  ///< measured rank of the assembled tile is comfortably
+                  ///< below the storage-beneficial limit (LR2LR updates on
+                  ///< those blocks), keep the rest dense (LR2GE updates);
+                  ///< remaining dense compressible blocks are re-tried at
+                  ///< elimination like Just-In-Time
 };
 
 /// Numeric factorization kind.
@@ -191,6 +198,13 @@ struct SolverOptions {
   /// elimination), instead of paying one Θ(m_C·…) recompression per update.
   bool accumulate_updates = false;
   index_t accumulate_max_rank = 32;
+
+  /// Strategy::Adaptive keeps an assembled tile low-rank only when its rank
+  /// at tolerance τ is at most this fraction of the storage-beneficial
+  /// limit (r·(m+n) < m·n). Blocks whose measured compression ratio is
+  /// marginal stay dense — avoiding the LR2LR densify-fallback churn — and
+  /// get one more chance at elimination time.
+  real_t adaptive_rank_fraction = 0.5;
 };
 
 const char* strategy_name(Strategy s);

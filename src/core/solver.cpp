@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/kernels_dispatch.hpp"
 #include "sparse/graph.hpp"
 
 namespace blr::core {
@@ -41,6 +42,7 @@ const char* strategy_name(Strategy s) {
     case Strategy::Dense: return "Dense";
     case Strategy::JustInTime: return "Just-In-Time";
     case Strategy::MinimalMemory: return "Minimal Memory";
+    case Strategy::Adaptive: return "Adaptive";
   }
   return "?";
 }
@@ -165,8 +167,10 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     rec.pivot_threshold = static_cast<double>(eff.pivot_threshold);
     rec.llt = llt_;
 
-    // Fresh peak measurement and scheduler counters for this attempt.
+    // Fresh peak measurement, kernel-dispatch counters, and scheduler
+    // counters for this attempt.
     MemoryTracker::instance().reset();
+    KernelDispatch::instance().reset_counters();
     if (pool_) pool_->reset_stats();
 
     Timer timer;
@@ -207,7 +211,9 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.num_lowrank_blocks = num_->num_lowrank_blocks();
   stats_.num_dense_blocks = num_->num_dense_blocks();
   stats_.average_rank = num_->average_rank();
+  stats_.dense_block_fraction = num_->dense_block_fraction();
   stats_.pivots_replaced = num_->pivots_replaced();
+  stats_.dispatch = KernelDispatch::instance().snapshot();
 }
 
 void Solver::solve(const real_t* b, real_t* x) const {
@@ -281,6 +287,8 @@ void Solver::print_summary(std::ostream& os) const {
      << " MB, ratio " << stats_.compression_ratio() << "x)\n"
      << "  blocks        : " << stats_.num_lowrank_blocks << " low-rank (avg rank "
      << stats_.average_rank << "), " << stats_.num_dense_blocks << " dense\n"
+     << "  dense fraction: " << stats_.dense_block_fraction
+     << " of compressible blocks kept dense\n"
      << "  memory peak   : "
      << static_cast<double>(stats_.factors_peak_bytes) / 1e6 << " MB factors, "
      << static_cast<double>(stats_.total_peak_bytes) / 1e6 << " MB total\n";
@@ -296,6 +304,14 @@ void Solver::print_summary(std::ostream& os) const {
       os << ", " << stats_.scheduler_discarded << " cancelled";
     }
     os << "\n";
+  }
+  if (!stats_.dispatch.empty()) {
+    os << "  kernels       :\n";
+    for (const DispatchCount& d : stats_.dispatch) {
+      os << "    " << d.kernel << ": " << d.calls << " calls, "
+         << static_cast<double>(d.bytes) / 1e6 << " MB, " << d.seconds
+         << " s\n";
+    }
   }
   if (stats_.attempts.size() > 1) {
     os << "  recovery      : " << stats_.attempts.size() << " attempts\n";

@@ -1,12 +1,23 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace blr::core {
+
+/// One row of the kernel-dispatch registry snapshot: how often a concrete
+/// (operation × operand representations) kernel ran in the last
+/// factorization, how many operand bytes it touched, and its wall time.
+struct DispatchCount {
+  std::string kernel;       ///< e.g. "gemm[lr,ge]", "getrf[ge]"
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;  ///< operand + destination storage touched
+  double seconds = 0;
+};
 
 /// Record of one factorization attempt made by Solver::factorize — the
 /// initial try plus every recovery-ladder retry.
@@ -47,7 +58,10 @@ struct SolverStats {
 
   index_t num_lowrank_blocks = 0;
   index_t num_dense_blocks = 0;
-  double average_rank = 0;  ///< mean rank over the final low-rank blocks
+  double average_rank = 0;  ///< mean rank over the final low-rank blocks only
+  /// Fraction of compressible panel blocks that ended dense (fallbacks plus
+  /// Adaptive keep-dense decisions); 1.0 for the Dense strategy.
+  double dense_block_fraction = 0;
 
   /// Pivots replaced by static pivoting (LU with pivot_threshold > 0).
   index_t pivots_replaced = 0;
@@ -66,6 +80,10 @@ struct SolverStats {
   /// Every factorization attempt of the last factorize() call (one entry
   /// for a clean run; one per ladder rung when recovery kicked in).
   std::vector<FactorizeAttempt> attempts;
+
+  /// Per-kernel dispatch counters of the successful factorization attempt
+  /// (zero-call kernels omitted).
+  std::vector<DispatchCount> dispatch;
 
   [[nodiscard]] double compression_ratio() const {
     return factor_entries_final > 0

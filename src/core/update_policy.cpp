@@ -1,0 +1,129 @@
+#include "core/update_policy.hpp"
+
+#include "core/kernels_dispatch.hpp"
+
+namespace blr::core {
+
+lr::Tile UpdatePolicy::assemble(index_t k, la::DMatrix scratch,
+                                bool compressible, const PolicyContext& ctx,
+                                lr::TileArena& arena) const {
+  (void)k;
+  (void)compressible;
+  (void)ctx;
+  return lr::Tile::from_dense(std::move(scratch), arena);
+}
+
+void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
+                                  const PolicyContext& ctx) const {
+  if (t.is_lowrank() || !compressible) return;
+  if (ctx.compression_site) ctx.compression_site(k);
+  auto lrm = dispatch::compress(ctx.kind, t.dense().cview(), ctx.tolerance,
+                                lr::beneficial_rank_limit(t.rows(), t.cols()));
+  if (lrm) {
+    t.set_lowrank(std::move(*lrm));
+    t.advance(lr::TileState::Compressed);
+  }
+}
+
+namespace {
+
+/// Baseline: every block dense, no compression anywhere.
+class DensePolicy final : public UpdatePolicy {
+public:
+  [[nodiscard]] Strategy strategy() const override { return Strategy::Dense; }
+  [[nodiscard]] const char* name() const override { return "Dense"; }
+  void at_elimination(index_t, lr::Tile&, bool,
+                      const PolicyContext&) const override {}
+};
+
+/// Algorithm 2: assemble dense, compress when the supernode is eliminated.
+/// Updates flow through LR2GE (no orthonormality requirement).
+class JustInTimePolicy final : public UpdatePolicy {
+public:
+  [[nodiscard]] Strategy strategy() const override {
+    return Strategy::JustInTime;
+  }
+  [[nodiscard]] const char* name() const override { return "JustInTime"; }
+};
+
+/// Algorithm 1: compress compressible blocks at assembly and keep them
+/// low-rank through the factorization (LR2LR extend-adds, which require
+/// orthonormal U on every contribution). The elimination hook re-attempts
+/// blocks that fell back to dense when an extend-add transiently exceeded
+/// the storage-beneficial rank.
+class MinimalMemoryPolicy final : public UpdatePolicy {
+public:
+  [[nodiscard]] Strategy strategy() const override {
+    return Strategy::MinimalMemory;
+  }
+  [[nodiscard]] const char* name() const override { return "MinimalMemory"; }
+
+  [[nodiscard]] lr::Tile assemble(index_t k, la::DMatrix scratch,
+                                  bool compressible, const PolicyContext& ctx,
+                                  lr::TileArena& arena) const override {
+    if (!compressible) return lr::Tile::from_dense(std::move(scratch), arena);
+    if (ctx.compression_site) ctx.compression_site(k);
+    auto lrm = dispatch::compress(
+        ctx.kind, scratch.cview(), ctx.tolerance,
+        lr::beneficial_rank_limit(scratch.rows(), scratch.cols()));
+    if (lrm) {
+      return lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
+                                    std::move(*lrm), arena);
+    }
+    return lr::Tile::from_dense(std::move(scratch), arena);
+  }
+
+  [[nodiscard]] bool need_ortho(bool) const override { return true; }
+};
+
+/// Per-block decision: compress at assembly only when the measured rank is
+/// comfortably below the storage-beneficial limit (within
+/// adaptive_rank_fraction of it); marginal blocks stay dense, skipping the
+/// LR2LR densify-fallback churn, and get the Just-In-Time treatment at
+/// elimination instead. Contributions need an orthonormal U only when their
+/// target was assembled low-rank (an LR2LR destination).
+class AdaptivePolicy final : public UpdatePolicy {
+public:
+  [[nodiscard]] Strategy strategy() const override {
+    return Strategy::Adaptive;
+  }
+  [[nodiscard]] const char* name() const override { return "Adaptive"; }
+
+  [[nodiscard]] lr::Tile assemble(index_t k, la::DMatrix scratch,
+                                  bool compressible, const PolicyContext& ctx,
+                                  lr::TileArena& arena) const override {
+    const index_t limit =
+        lr::beneficial_rank_limit(scratch.rows(), scratch.cols());
+    const index_t cap = static_cast<index_t>(
+        static_cast<real_t>(limit) * ctx.adaptive_rank_fraction);
+    if (!compressible || cap < 1) {
+      return lr::Tile::from_dense(std::move(scratch), arena);
+    }
+    if (ctx.compression_site) ctx.compression_site(k);
+    auto lrm = dispatch::compress(ctx.kind, scratch.cview(), ctx.tolerance, cap);
+    if (lrm) {
+      return lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
+                                    std::move(*lrm), arena);
+    }
+    return lr::Tile::from_dense(std::move(scratch), arena);
+  }
+
+  [[nodiscard]] bool need_ortho(bool target_assembled_lowrank) const override {
+    return target_assembled_lowrank;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<UpdatePolicy> make_update_policy(const SolverOptions& opts) {
+  switch (opts.strategy) {
+    case Strategy::Dense: return std::make_unique<DensePolicy>();
+    case Strategy::JustInTime: return std::make_unique<JustInTimePolicy>();
+    case Strategy::MinimalMemory:
+      return std::make_unique<MinimalMemoryPolicy>();
+    case Strategy::Adaptive: return std::make_unique<AdaptivePolicy>();
+  }
+  return std::make_unique<JustInTimePolicy>();
+}
+
+} // namespace blr::core

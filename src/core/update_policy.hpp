@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/options.hpp"
+#include "lowrank/tile.hpp"
+
+namespace blr::core {
+
+/// Environment a policy decision runs in: the compression configuration plus
+/// the driver's per-site hooks (fault injection counts every compression
+/// attempt, so policies must announce each one before compressing).
+struct PolicyContext {
+  lr::CompressionKind kind = lr::CompressionKind::Rrqr;
+  real_t tolerance = 0;
+  real_t adaptive_rank_fraction = 0.5;
+  /// Called once per compression site with the supernode index; may throw
+  /// (deterministic CompressionFail injection).
+  std::function<void(index_t)> compression_site;
+};
+
+/// Strategy object the right-looking driver is parameterized by: when to
+/// compress a tile (at assembly, at elimination, or never) and what the
+/// contribution products must guarantee. The driver itself contains no
+/// strategy branches — Dense / Just-In-Time / Minimal-Memory / Adaptive are
+/// interchangeable instances of this interface over one code path.
+class UpdatePolicy {
+public:
+  virtual ~UpdatePolicy() = default;
+
+  [[nodiscard]] virtual Strategy strategy() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Turn one gathered panel block into a Tile (representation decision at
+  /// assembly). Default: keep dense (Dense / Just-In-Time).
+  [[nodiscard]] virtual lr::Tile assemble(index_t k, la::DMatrix scratch,
+                                          bool compressible,
+                                          const PolicyContext& ctx,
+                                          lr::TileArena& arena) const;
+
+  /// Whether A·Bᵗ products must carry an orthonormal U.
+  /// `target_assembled_lowrank` is the target tile's representation as
+  /// decided at assembly (immutable, so safe to read without the target
+  /// lock). Default: no (LR2GE targets tolerate any basis).
+  [[nodiscard]] virtual bool need_ortho(bool target_assembled_lowrank) const {
+    (void)target_assembled_lowrank;
+    return false;
+  }
+
+  /// Elimination-time hook on each panel tile, after the diagonal
+  /// factorization and before the panel solves. Default: attempt to
+  /// compress tiles still dense at the storage-beneficial rank limit
+  /// (Just-In-Time compression; also Minimal-Memory's re-attempt on blocks
+  /// that fell back to dense during an extend-add).
+  virtual void at_elimination(index_t k, lr::Tile& t, bool compressible,
+                              const PolicyContext& ctx) const;
+};
+
+/// The policy implementing opts.strategy.
+std::unique_ptr<UpdatePolicy> make_update_policy(const SolverOptions& opts);
+
+} // namespace blr::core

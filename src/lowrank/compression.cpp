@@ -174,13 +174,13 @@ std::optional<LrMatrix> compress(CompressionKind kind, la::DConstView a,
   return std::nullopt;
 }
 
-Block compress_to_block(CompressionKind kind, la::DConstView a, real_t tol_rel,
-                        MemCategory cat) {
+Tile compress_to_tile(CompressionKind kind, la::DConstView a, real_t tol_rel,
+                      MemCategory cat) {
   auto lr = compress(kind, a, tol_rel, beneficial_rank_limit(a.rows, a.cols));
-  if (lr) return Block::make_lowrank(a.rows, a.cols, std::move(*lr), cat);
-  Block b = Block::make_dense(a.rows, a.cols, cat);
-  la::copy<real_t>(a, b.dense().view());
-  return b;
+  if (lr) return Tile::make_lowrank(a.rows, a.cols, std::move(*lr), cat);
+  Tile t = Tile::make_dense(a.rows, a.cols, cat);
+  la::copy<real_t>(a, t.dense().view());
+  return t;
 }
 
 } // namespace blr::lr

@@ -2,7 +2,7 @@
 
 #include <optional>
 
-#include "lowrank/block.hpp"
+#include "lowrank/tile.hpp"
 
 namespace blr::lr {
 
@@ -40,9 +40,9 @@ std::optional<LrMatrix> compress_randomized(la::DConstView a, real_t tol_rel,
 std::optional<LrMatrix> compress(CompressionKind kind, la::DConstView a,
                                  real_t tol_rel, index_t max_rank);
 
-/// Compress with the storage-beneficial rank limit; returns a low-rank Block
+/// Compress with the storage-beneficial rank limit; returns a low-rank Tile
 /// on success, a dense copy otherwise.
-Block compress_to_block(CompressionKind kind, la::DConstView a, real_t tol_rel,
-                        MemCategory cat = MemCategory::Factors);
+Tile compress_to_tile(CompressionKind kind, la::DConstView a, real_t tol_rel,
+                      MemCategory cat = MemCategory::Factors);
 
 } // namespace blr::lr

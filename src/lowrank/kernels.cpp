@@ -31,12 +31,12 @@ la::DMatrix pad_rows_negated(la::DConstView u, index_t total, index_t roff) {
 }
 
 /// Convert c to dense and subtract the contribution at the given offsets.
-void densify_and_apply(Block& c, const Contribution& p, index_t roff, index_t coff,
+void densify_and_apply(Tile& c, const Tile& p, index_t roff, index_t coff,
                        bool transpose) {
   la::DMatrix d(c.rows(), c.cols());
   c.to_dense(d.view());
   add_contribution_dense(d, p, roff, coff, transpose);
-  // add_contribution_dense works on the Block's own dense storage; here we
+  // add_contribution_dense works on the tile's own dense storage; here we
   // applied to a scratch matrix, so install it.
   c.set_dense(std::move(d));
 }
@@ -53,28 +53,26 @@ la::DMatrix extract_r(la::DConstView a, index_t k) {
 
 } // namespace
 
-Contribution ab_t_product(const Block& a, const Block& b, CompressionKind kind,
-                          real_t tol_rel, bool need_ortho) {
-  Contribution out;
+Tile ab_t_product(const Tile& a, const Tile& b, CompressionKind kind,
+                  real_t tol_rel, bool need_ortho, MemCategory cat) {
   const index_t m = a.rows();
   const index_t n = b.rows();
 
   if (!a.is_lowrank() && !b.is_lowrank()) {
-    out.lowrank = false;
-    out.dense = la::DMatrix(m, n);
+    Tile out = Tile::make_dense(m, n, cat);
     la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), a.dense().cview(),
-             b.dense().cview(), real_t(0), out.dense.view());
+             b.dense().cview(), real_t(0), out.dense().view());
     return out;
   }
 
-  out.lowrank = true;
+  LrMatrix lr;
   if (a.is_lowrank() && !b.is_lowrank()) {
     // P = U_A·(B·V_A)ᵗ; U_A stays orthonormal.
-    out.lr.u = a.lr().u;
-    out.lr.v = la::DMatrix(n, a.rank());
+    lr.u = a.lr().u;
+    lr.v = la::DMatrix(n, a.rank());
     la::gemm(la::Trans::No, la::Trans::No, real_t(1), b.dense().cview(),
-             a.lr().v.cview(), real_t(0), out.lr.v.view());
-    return out;
+             a.lr().v.cview(), real_t(0), lr.v.view());
+    return Tile::make_lowrank(m, n, std::move(lr), cat);
   }
   if (!a.is_lowrank() && b.is_lowrank()) {
     // P = (A·V_B)·U_Bᵗ.
@@ -82,23 +80,23 @@ Contribution ab_t_product(const Block& a, const Block& b, CompressionKind kind,
     la::gemm(la::Trans::No, la::Trans::No, real_t(1), a.dense().cview(),
              b.lr().v.cview(), real_t(0), u0.view());
     if (!need_ortho || b.rank() == 0) {
-      out.lr.u = std::move(u0);
-      out.lr.v = b.lr().u;
-      return out;
+      lr.u = std::move(u0);
+      lr.v = b.lr().u;
+      return Tile::make_lowrank(m, n, std::move(lr), cat);
     }
     // Re-orthogonalize: u0 = Q·R, then P = Q·(U_B·Rᵗ)ᵗ.
     const index_t k = std::min(m, b.rank());
     std::vector<real_t> tau;
     la::geqrf(u0.view(), tau);
     const la::DMatrix r = extract_r(u0.cview(), k);
-    out.lr.v = la::DMatrix(n, k);
+    lr.v = la::DMatrix(n, k);
     la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), b.lr().u.cview(), r.cview(),
-             real_t(0), out.lr.v.view());
+             real_t(0), lr.v.view());
     la::DMatrix q(u0.cview().sub(0, 0, m, k));
     tau.resize(static_cast<std::size_t>(k));
     la::orgqr(q.view(), tau);
-    out.lr.u = std::move(q);
-    return out;
+    lr.u = std::move(q);
+    return Tile::make_lowrank(m, n, std::move(lr), cat);
   }
 
   // Both low-rank: P = U_A·(V_Aᵗ·V_B)·U_Bᵗ, T = V_Aᵗ·V_B (eqs (1)-(4)).
@@ -112,21 +110,21 @@ Contribution ab_t_product(const Block& a, const Block& b, CompressionKind kind,
     auto that = compress(kind, t.cview(), tol_rel, std::min(ra, rb));
     if (that && that->rank() < std::min(ra, rb)) {
       const index_t rt = that->rank();
-      out.lr.u = la::DMatrix(m, rt);
+      lr.u = la::DMatrix(m, rt);
       la::gemm(la::Trans::No, la::Trans::No, real_t(1), a.lr().u.cview(),
-               that->u.cview(), real_t(0), out.lr.u.view());
-      out.lr.v = la::DMatrix(n, rt);
+               that->u.cview(), real_t(0), lr.u.view());
+      lr.v = la::DMatrix(n, rt);
       la::gemm(la::Trans::No, la::Trans::No, real_t(1), b.lr().u.cview(),
-               that->v.cview(), real_t(0), out.lr.v.view());
-      return out;
+               that->v.cview(), real_t(0), lr.v.view());
+      return Tile::make_lowrank(m, n, std::move(lr), cat);
     }
     // Recompression did not pay off: keep the smaller-rank representation.
     if (ra <= rb) {
-      out.lr.u = a.lr().u;  // already orthonormal
-      out.lr.v = la::DMatrix(n, ra);
+      lr.u = a.lr().u;  // already orthonormal
+      lr.v = la::DMatrix(n, ra);
       la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), b.lr().u.cview(), t.cview(),
-               real_t(0), out.lr.v.view());
-      return out;
+               real_t(0), lr.v.view());
+      return Tile::make_lowrank(m, n, std::move(lr), cat);
     }
     // rb < ra: orthonormalize U_A·T so the result basis has rank rb.
     la::DMatrix u0(m, rb);
@@ -136,38 +134,38 @@ Contribution ab_t_product(const Block& a, const Block& b, CompressionKind kind,
     std::vector<real_t> tau;
     la::geqrf(u0.view(), tau);
     const la::DMatrix r = extract_r(u0.cview(), k);
-    out.lr.v = la::DMatrix(n, k);
+    lr.v = la::DMatrix(n, k);
     la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), b.lr().u.cview(), r.cview(),
-             real_t(0), out.lr.v.view());
+             real_t(0), lr.v.view());
     la::DMatrix q(u0.cview().sub(0, 0, m, k));
     tau.resize(static_cast<std::size_t>(k));
     la::orgqr(q.view(), tau);
-    out.lr.u = std::move(q);
-    return out;
+    lr.u = std::move(q);
+    return Tile::make_lowrank(m, n, std::move(lr), cat);
   }
 
   // No orthogonality requirement: pick the representation with smaller rank.
   if (ra <= rb) {
-    out.lr.u = a.lr().u;
-    out.lr.v = la::DMatrix(n, ra);
+    lr.u = a.lr().u;
+    lr.v = la::DMatrix(n, ra);
     la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), b.lr().u.cview(), t.cview(),
-             real_t(0), out.lr.v.view());
+             real_t(0), lr.v.view());
   } else {
-    out.lr.u = la::DMatrix(m, rb);
+    lr.u = la::DMatrix(m, rb);
     la::gemm(la::Trans::No, la::Trans::No, real_t(1), a.lr().u.cview(), t.cview(),
-             real_t(0), out.lr.u.view());
-    out.lr.v = b.lr().u;
+             real_t(0), lr.u.view());
+    lr.v = b.lr().u;
   }
-  return out;
+  return Tile::make_lowrank(m, n, std::move(lr), cat);
 }
 
-void apply_to_dense(const Contribution& p, la::DView target, bool transpose) {
-  if (p.lowrank) {
+void apply_to_dense(const Tile& p, la::DView target, bool transpose) {
+  if (p.is_lowrank()) {
     if (p.rank() == 0) return;
-    p.lr.subtract_from(target, transpose);
+    p.lr().subtract_from(target, transpose);
     return;
   }
-  const la::DConstView d = p.dense.cview();
+  const la::DConstView d = p.dense().cview();
   if (!transpose) {
     assert(target.rows == d.rows && target.cols == d.cols);
     for (index_t j = 0; j < d.cols; ++j)
@@ -179,7 +177,7 @@ void apply_to_dense(const Contribution& p, la::DView target, bool transpose) {
   }
 }
 
-void add_contribution_dense(la::DMatrix& target, const Contribution& p,
+void add_contribution_dense(la::DMatrix& target, const Tile& p,
                             index_t roff, index_t coff, bool transpose) {
   const index_t pm = transpose ? p.cols() : p.rows();
   const index_t pn = transpose ? p.rows() : p.cols();
@@ -190,7 +188,7 @@ namespace {
 
 /// SVD-recompressed extend-add of §3.3.2 (eqs (7)-(8)).
 /// Returns false when the target should fall back to dense.
-bool lr2lr_svd(Block& c, la::DConstView pu, la::DConstView pv, index_t roff,
+bool lr2lr_svd(Tile& c, la::DConstView pu, la::DConstView pv, index_t roff,
                index_t coff, real_t tol_rel, index_t max_rank) {
   const index_t mc = c.rows();
   const index_t nc = c.cols();
@@ -241,7 +239,7 @@ bool lr2lr_svd(Block& c, la::DConstView pu, la::DConstView pv, index_t roff,
 }
 
 /// RRQR-recompressed extend-add of §3.3.2 (eqs (9)-(12)).
-bool lr2lr_rrqr(Block& c, la::DConstView pu, la::DConstView pv, index_t roff,
+bool lr2lr_rrqr(Tile& c, la::DConstView pu, la::DConstView pv, index_t roff,
                 index_t coff, real_t tol_rel, index_t max_rank) {
   const index_t mc = c.rows();
   const index_t nc = c.cols();
@@ -325,8 +323,11 @@ bool lr2lr_rrqr(Block& c, la::DConstView pu, la::DConstView pv, index_t roff,
 
 } // namespace
 
-void lr2lr_add(Block& c, const Contribution& p, index_t roff, index_t coff,
+void lr2lr_add(Tile& c, const Tile& p, index_t roff, index_t coff,
                CompressionKind kind, real_t tol_rel, bool transpose) {
+  if (c.state() == TileState::Factored) {
+    throw Error("extend-add into a tile that is already Factored");
+  }
   if (!c.is_lowrank()) {
     add_contribution_dense(c.dense(), p, roff, coff, transpose);
     return;
@@ -335,17 +336,24 @@ void lr2lr_add(Block& c, const Contribution& p, index_t roff, index_t coff,
   // Bring the contribution into low-rank (u, v) form, transposed if needed.
   la::DMatrix udense, vdense;  // storage when p is dense or transposed
   la::DConstView pu, pv;
-  if (p.lowrank) {
+  if (p.is_lowrank()) {
     if (p.rank() == 0) return;
-    pu = transpose ? p.lr.v.cview() : p.lr.u.cview();
-    pv = transpose ? p.lr.u.cview() : p.lr.v.cview();
+    pu = transpose ? p.lr().v.cview() : p.lr().u.cview();
+    pv = transpose ? p.lr().u.cview() : p.lr().v.cview();
   } else {
-    const index_t pm = transpose ? p.dense.cols() : p.dense.rows();
-    const index_t pn = transpose ? p.dense.rows() : p.dense.cols();
-    la::DMatrix pd(pm, pn);
-    if (transpose) la::transpose<real_t>(p.dense.cview(), pd.view());
-    else pd = p.dense;
-    auto plr = compress(kind, pd.cview(), tol_rel, beneficial_rank_limit(pm, pn));
+    // Compress the dense contribution: only the transposed case needs a
+    // scratch copy, the plain case reads straight from p's storage.
+    const index_t pm = transpose ? p.dense().cols() : p.dense().rows();
+    const index_t pn = transpose ? p.dense().rows() : p.dense().cols();
+    std::optional<LrMatrix> plr;
+    if (transpose) {
+      la::DMatrix pd(pm, pn);
+      la::transpose<real_t>(p.dense().cview(), pd.view());
+      plr = compress(kind, pd.cview(), tol_rel, beneficial_rank_limit(pm, pn));
+    } else {
+      plr = compress(kind, p.dense().cview(), tol_rel,
+                     beneficial_rank_limit(pm, pn));
+    }
     if (!plr) {
       densify_and_apply(c, p, roff, coff, transpose);
       return;

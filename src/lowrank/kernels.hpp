@@ -4,29 +4,21 @@
 
 namespace blr::lr {
 
-/// Result of a block-times-blockᵗ product: the update contribution
-/// P = A·Bᵗ of §3.3.1, in low-rank form whenever either operand is.
-struct Contribution {
-  bool lowrank = false;
-  LrMatrix lr;        // valid when lowrank
-  la::DMatrix dense;  // valid when !lowrank
-
-  [[nodiscard]] index_t rows() const { return lowrank ? lr.rows() : dense.rows(); }
-  [[nodiscard]] index_t cols() const { return lowrank ? lr.cols() : dense.cols(); }
-  [[nodiscard]] index_t rank() const { return lowrank ? lr.rank() : index_t(-1); }
-};
-
-/// P = A·Bᵗ. When both operands are low-rank the intermediate
+/// P = A·Bᵗ, the update contribution of §3.3.1, returned as a Tile that is
+/// low-rank whenever either operand is (dense only for dense×dense). The
+/// tile's storage is tracked under `cat` (contributions are scratch, so
+/// Workspace by default). When both operands are low-rank the intermediate
 /// T = V_Aᵗ·V_B is recompressed (eqs (1)-(4) of the paper) provided
-/// `need_ortho` is set (Minimal-Memory path, where the resulting U must be
+/// `need_ortho` is set (LR2LR targets, where the resulting U must be
 /// orthonormal for the later extend-add); otherwise the cheaper
-/// non-orthogonal form is kept (Just-In-Time path, LR2GE target).
-Contribution ab_t_product(const Block& a, const Block& b, CompressionKind kind,
-                          real_t tol_rel, bool need_ortho);
+/// non-orthogonal form is kept (LR2GE targets).
+Tile ab_t_product(const Tile& a, const Tile& b, CompressionKind kind,
+                  real_t tol_rel, bool need_ortho,
+                  MemCategory cat = MemCategory::Workspace);
 
 /// LR2GE: target -= P (or Pᵗ when `transpose`). `target` is the sub-view of
 /// the dense destination block already positioned at the right offsets.
-void apply_to_dense(const Contribution& p, la::DView target, bool transpose);
+void apply_to_dense(const Tile& p, la::DView target, bool transpose);
 
 /// LR2LR: the extend-add C = C − "P padded to C's shape at (roff, coff)"
 /// followed by recompression (§3.3.2). The SVD variant re-orthogonalizes via
@@ -36,12 +28,13 @@ void apply_to_dense(const Contribution& p, la::DView target, bool transpose);
 /// the paper describes as "blocks with high ranks are kept dense").
 /// When `transpose` is set the *transposed* contribution Pᵗ is added (used
 /// for the U-side mirror targets of the LU factorization).
-void lr2lr_add(Block& c, const Contribution& p, index_t roff, index_t coff,
+/// Throws blr::Error if `c` has already reached TileState::Factored.
+void lr2lr_add(Tile& c, const Tile& p, index_t roff, index_t coff,
                CompressionKind kind, real_t tol_rel, bool transpose = false);
 
 /// Dense-target update for a contribution at offsets: target block (dense)
 /// receives P at (roff, coff). Thin wrapper used by the numeric layer.
-void add_contribution_dense(la::DMatrix& target, const Contribution& p,
+void add_contribution_dense(la::DMatrix& target, const Tile& p,
                             index_t roff, index_t coff, bool transpose);
 
 } // namespace blr::lr

@@ -1,0 +1,15 @@
+#include "lowrank/tile.hpp"
+
+namespace blr::lr {
+
+const char* tile_state_name(TileState s) {
+  switch (s) {
+    case TileState::Unassembled: return "Unassembled";
+    case TileState::Assembled: return "Assembled";
+    case TileState::Compressed: return "Compressed";
+    case TileState::Factored: return "Factored";
+  }
+  return "?";
+}
+
+} // namespace blr::lr

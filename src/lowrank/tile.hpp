@@ -1,0 +1,326 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace blr::lr {
+
+/// Rank-r factorization A ≈ U·Vᵗ with U: m x r and V: n x r.
+/// Every kernel in this library maintains U with orthonormal columns; V
+/// carries the scaling (paper §3: u orthogonal, vᵗ = R or σ·Vᵗ).
+struct LrMatrix {
+  la::DMatrix u;
+  la::DMatrix v;
+
+  LrMatrix() = default;
+  LrMatrix(la::DMatrix u_, la::DMatrix v_) : u(std::move(u_)), v(std::move(v_)) {}
+
+  [[nodiscard]] index_t rows() const { return u.rows(); }
+  [[nodiscard]] index_t cols() const { return v.rows(); }
+  [[nodiscard]] index_t rank() const { return u.cols(); }
+  [[nodiscard]] std::size_t entries() const {
+    return static_cast<std::size_t>(u.size() + v.size());
+  }
+
+  /// Materialize into `out` (must be rows() x cols()): out = U·Vᵗ.
+  void to_dense(la::DView out) const {
+    la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), u.cview(), v.cview(),
+             real_t(0), out);
+  }
+
+  /// out -= U·Vᵗ (or out -= V·Uᵗ when `transpose`).
+  void subtract_from(la::DView out, bool transpose = false) const {
+    if (!transpose) {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), u.cview(), v.cview(),
+               real_t(1), out);
+    } else {
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), v.cview(), u.cview(),
+               real_t(1), out);
+    }
+  }
+};
+
+/// Lifecycle of a tile through the factorization. Transitions are
+/// forward-only (states may be skipped — a Just-In-Time tile goes
+/// Assembled → Compressed → Factored, a dense one Assembled → Factored);
+/// any attempt to move backwards throws blr::Error.
+enum class TileState : std::uint8_t {
+  Unassembled = 0,  ///< created, no numeric content yet
+  Assembled,        ///< holds the gathered initial values + received updates
+  Compressed,       ///< low-rank representation installed (initial or JIT)
+  Factored,         ///< panel solve applied; immutable from here on
+};
+
+const char* tile_state_name(TileState s);
+
+/// Per-supernode allocation pool: every tile of one column block charges its
+/// storage here, and the arena forwards the byte deltas to the process-wide
+/// MemoryTracker under a single category. This gives (a) one switch point
+/// for the category of a whole supernode (factors vs workspace) and (b) a
+/// per-supernode live-byte figure for diagnostics, while keeping the
+/// tracker's per-category peaks intact.
+class TileArena {
+public:
+  TileArena() = default;
+  explicit TileArena(MemCategory cat) : cat_(cat) {}
+  TileArena(const TileArena&) = delete;
+  TileArena& operator=(const TileArena&) = delete;
+  ~TileArena() {
+    // Tiles normally discharge themselves first (declare the arena before
+    // its tiles); release any remainder so the tracker never leaks.
+    const std::size_t rem = bytes_.load(std::memory_order_relaxed);
+    if (rem > 0) MemoryTracker::instance().release(cat_, rem);
+  }
+
+  void charge(std::size_t b) {
+    if (b == 0) return;
+    bytes_.fetch_add(b, std::memory_order_relaxed);
+    MemoryTracker::instance().allocate(cat_, b);
+  }
+  void discharge(std::size_t b) {
+    if (b == 0) return;
+    bytes_.fetch_sub(b, std::memory_order_relaxed);
+    MemoryTracker::instance().release(cat_, b);
+  }
+
+  /// Live bytes currently charged by this supernode's tiles.
+  [[nodiscard]] std::size_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] MemCategory category() const { return cat_; }
+
+private:
+  MemCategory cat_ = MemCategory::Factors;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+/// The single numeric storage unit of the factorization: a tagged
+/// dense/low-rank variant with an explicit lifecycle state machine.
+///
+/// One Tile type serves every role the engine needs — diagonal blocks,
+/// off-diagonal panel blocks, update contributions (A·Bᵗ products), and
+/// LUAR accumulators — so a kernel only ever sees "a tile in some
+/// representation", and adding a representation (e.g. a lower precision)
+/// means adding dispatch entries, not new storage structs. Storage is
+/// registered with the MemoryTracker either through a per-supernode
+/// TileArena or standalone under a category.
+class Tile {
+public:
+  Tile() = default;
+
+  static Tile make_dense(index_t m, index_t n,
+                         MemCategory cat = MemCategory::Factors) {
+    Tile t;
+    t.rows_ = m;
+    t.cols_ = n;
+    t.cat_ = cat;
+    t.dense_ = la::DMatrix(m, n);
+    t.lowrank_ = false;
+    t.retrack();
+    return t;
+  }
+  static Tile make_dense(index_t m, index_t n, TileArena& arena) {
+    Tile t;
+    t.rows_ = m;
+    t.cols_ = n;
+    t.arena_ = &arena;
+    t.cat_ = arena.category();
+    t.dense_ = la::DMatrix(m, n);
+    t.lowrank_ = false;
+    t.retrack();
+    return t;
+  }
+
+  /// Take ownership of an existing dense matrix.
+  static Tile from_dense(la::DMatrix d, MemCategory cat = MemCategory::Factors) {
+    Tile t;
+    t.rows_ = d.rows();
+    t.cols_ = d.cols();
+    t.cat_ = cat;
+    t.dense_ = std::move(d);
+    t.lowrank_ = false;
+    t.retrack();
+    return t;
+  }
+  static Tile from_dense(la::DMatrix d, TileArena& arena) {
+    Tile t;
+    t.rows_ = d.rows();
+    t.cols_ = d.cols();
+    t.arena_ = &arena;
+    t.cat_ = arena.category();
+    t.dense_ = std::move(d);
+    t.lowrank_ = false;
+    t.retrack();
+    return t;
+  }
+
+  static Tile make_lowrank(index_t m, index_t n, LrMatrix lr,
+                           MemCategory cat = MemCategory::Factors) {
+    Tile t;
+    t.rows_ = m;
+    t.cols_ = n;
+    t.cat_ = cat;
+    t.lr_ = std::move(lr);
+    t.lowrank_ = true;
+    t.retrack();
+    return t;
+  }
+  static Tile make_lowrank(index_t m, index_t n, LrMatrix lr, TileArena& arena) {
+    Tile t;
+    t.rows_ = m;
+    t.cols_ = n;
+    t.arena_ = &arena;
+    t.cat_ = arena.category();
+    t.lr_ = std::move(lr);
+    t.lowrank_ = true;
+    t.retrack();
+    return t;
+  }
+
+  Tile(const Tile&) = delete;
+  Tile& operator=(const Tile&) = delete;
+  Tile(Tile&& o) noexcept { move_from(o); }
+  Tile& operator=(Tile&& o) noexcept {
+    if (this != &o) {
+      untrack();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~Tile() { untrack(); }
+
+  // ---- lifecycle -----------------------------------------------------
+
+  [[nodiscard]] TileState state() const { return state_; }
+
+  /// Move the lifecycle forward (idempotent on the same state). A backward
+  /// transition — e.g. Factored → Assembled — is a logic error in the
+  /// driver and always throws.
+  void advance(TileState next) {
+    if (static_cast<int>(next) < static_cast<int>(state_)) {
+      throw Error(std::string("tile state machine regression: ") +
+                  tile_state_name(state_) + " -> " + tile_state_name(next));
+    }
+    if (next >= TileState::Assembled && state_ < TileState::Assembled) {
+      // Record the representation decided at assembly: update policies key
+      // per-block choices (e.g. orthonormality requirements) off this
+      // immutable flag instead of racing on the live tag.
+      assembled_lowrank_ = lowrank_;
+    }
+    state_ = next;
+  }
+
+  /// Representation this tile had when its supernode finished assembly
+  /// (stable for the rest of the factorization, unlike is_lowrank()).
+  [[nodiscard]] bool assembled_lowrank() const { return assembled_lowrank_; }
+
+  // ---- representation ------------------------------------------------
+
+  [[nodiscard]] bool is_lowrank() const { return lowrank_; }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t rank() const { return lowrank_ ? lr_.rank() : index_t(-1); }
+
+  [[nodiscard]] la::DMatrix& dense() { return dense_; }
+  [[nodiscard]] const la::DMatrix& dense() const { return dense_; }
+  [[nodiscard]] LrMatrix& lr() { return lr_; }
+  [[nodiscard]] const LrMatrix& lr() const { return lr_; }
+
+  [[nodiscard]] std::size_t storage_entries() const {
+    return lowrank_ ? lr_.entries() : static_cast<std::size_t>(dense_.size());
+  }
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return storage_entries() * sizeof(real_t);
+  }
+
+  /// Replace contents with a low-rank representation (tracker updated).
+  void set_lowrank(LrMatrix lr) {
+    lr_ = std::move(lr);
+    dense_ = la::DMatrix();
+    lowrank_ = true;
+    retrack();
+  }
+
+  /// Replace contents with a dense matrix (tracker updated).
+  void set_dense(la::DMatrix d) {
+    dense_ = std::move(d);
+    lr_ = LrMatrix();
+    lowrank_ = false;
+    retrack();
+  }
+
+  /// Convert a low-rank tile to dense in place.
+  void densify() {
+    if (!lowrank_) return;
+    la::DMatrix d(rows_, cols_);
+    lr_.to_dense(d.view());
+    set_dense(std::move(d));
+  }
+
+  /// Materialize the tile's value into `out` (rows x cols).
+  void to_dense(la::DView out) const {
+    if (lowrank_) lr_.to_dense(out);
+    else la::copy<real_t>(dense_.cview(), out);
+  }
+
+private:
+  void move_from(Tile& o) {
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    cat_ = o.cat_;
+    arena_ = o.arena_;
+    tracked_ = o.tracked_;
+    lowrank_ = o.lowrank_;
+    state_ = o.state_;
+    assembled_lowrank_ = o.assembled_lowrank_;
+    dense_ = std::move(o.dense_);
+    lr_ = std::move(o.lr_);
+    o.tracked_ = 0;
+    o.arena_ = nullptr;
+    o.rows_ = o.cols_ = 0;
+    o.lowrank_ = false;
+    o.state_ = TileState::Unassembled;
+    o.assembled_lowrank_ = false;
+  }
+
+  void untrack() {
+    if (tracked_ == 0) return;
+    if (arena_ != nullptr) arena_->discharge(tracked_);
+    else MemoryTracker::instance().release(cat_, tracked_);
+    tracked_ = 0;
+  }
+
+  /// Re-register the tracked byte count after a storage change.
+  void retrack() {
+    const std::size_t want = storage_bytes();
+    if (want == tracked_) return;
+    if (arena_ != nullptr) {
+      if (want > tracked_) arena_->charge(want - tracked_);
+      else arena_->discharge(tracked_ - want);
+    } else {
+      auto& t = MemoryTracker::instance();
+      if (want > tracked_) t.allocate(cat_, want - tracked_);
+      else t.release(cat_, tracked_ - want);
+    }
+    tracked_ = want;
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  MemCategory cat_ = MemCategory::Factors;
+  TileArena* arena_ = nullptr;
+  std::size_t tracked_ = 0;
+  bool lowrank_ = false;
+  bool assembled_lowrank_ = false;
+  TileState state_ = TileState::Unassembled;
+  la::DMatrix dense_;
+  LrMatrix lr_;
+};
+
+} // namespace blr::lr

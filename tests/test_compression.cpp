@@ -130,39 +130,39 @@ TEST(Compression, BeneficialRankLimit) {
   EXPECT_GE((r + 1) * (m + n), m * n);
 }
 
-TEST(Compression, CompressToBlockChoosesRepresentation) {
+TEST(Compression, CompressToTileChoosesRepresentation) {
   Prng rng(5);
   const la::DMatrix lowrank_in = la::random_rank_k<real_t>(60, 60, 4, rng);
-  const Block b1 = compress_to_block(CompressionKind::Rrqr, lowrank_in.cview(), 1e-8);
-  EXPECT_TRUE(b1.is_lowrank());
-  EXPECT_EQ(b1.rank(), 4);
+  const Tile t1 = compress_to_tile(CompressionKind::Rrqr, lowrank_in.cview(), 1e-8);
+  EXPECT_TRUE(t1.is_lowrank());
+  EXPECT_EQ(t1.rank(), 4);
 
   la::DMatrix fullrank_in(60, 60);
   la::random_normal(fullrank_in.view(), rng);
-  const Block b2 = compress_to_block(CompressionKind::Rrqr, fullrank_in.cview(), 1e-8);
-  EXPECT_FALSE(b2.is_lowrank());
+  const Tile t2 = compress_to_tile(CompressionKind::Rrqr, fullrank_in.cview(), 1e-8);
+  EXPECT_FALSE(t2.is_lowrank());
   la::DMatrix out(60, 60);
-  b2.to_dense(out.view());
+  t2.to_dense(out.view());
   EXPECT_EQ(la::diff_fro(out.cview(), fullrank_in.cview()), 0.0);
 }
 
-TEST(Block, DensifyPreservesValue) {
+TEST(Tile, DensifyPreservesValue) {
   Prng rng(6);
   const la::DMatrix a = la::random_rank_k<real_t>(25, 35, 3, rng);
-  Block b = compress_to_block(CompressionKind::Svd, a.cview(), 1e-10);
-  ASSERT_TRUE(b.is_lowrank());
+  Tile t = compress_to_tile(CompressionKind::Svd, a.cview(), 1e-10);
+  ASSERT_TRUE(t.is_lowrank());
   la::DMatrix before(25, 35);
-  b.to_dense(before.view());
-  b.densify();
-  EXPECT_FALSE(b.is_lowrank());
-  EXPECT_EQ(la::diff_fro(b.dense().cview(), before.cview()), 0.0);
+  t.to_dense(before.view());
+  t.densify();
+  EXPECT_FALSE(t.is_lowrank());
+  EXPECT_EQ(la::diff_fro(t.dense().cview(), before.cview()), 0.0);
 }
 
-TEST(Block, StorageEntriesAndTracking) {
+TEST(Tile, StorageEntriesAndTracking) {
   auto& tracker = MemoryTracker::instance();
   tracker.reset();
   {
-    Block d = Block::make_dense(10, 10);
+    Tile d = Tile::make_dense(10, 10);
     EXPECT_EQ(d.storage_entries(), 100u);
     EXPECT_EQ(tracker.current(MemCategory::Factors), 100 * sizeof(real_t));
     Prng rng(2);

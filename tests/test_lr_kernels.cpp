@@ -1,4 +1,4 @@
-// Tests of the update kernels of §3.3: the block product A·Bᵗ in every
+// Tests of the update kernels of §3.3: the tile product A·Bᵗ in every
 // dense/low-rank combination, the LR2GE dense update, and the LR2LR
 // extend-add with both SVD and RRQR recompression (padding, offsets,
 // transposed contributions, densify fallback).
@@ -8,6 +8,7 @@
 #include "common/prng.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/random.hpp"
+#include "lowrank/compression.hpp"
 #include "lowrank/kernels.hpp"
 
 namespace {
@@ -15,28 +16,21 @@ namespace {
 using namespace blr;
 using namespace blr::lr;
 
-la::DMatrix materialize_block(const Block& b) {
-  la::DMatrix d(b.rows(), b.cols());
-  b.to_dense(d.view());
+la::DMatrix materialize(const Tile& t) {
+  la::DMatrix d(t.rows(), t.cols());
+  t.to_dense(d.view());
   return d;
 }
 
-la::DMatrix materialize_contribution(const Contribution& p) {
-  if (!p.lowrank) return p.dense;
-  la::DMatrix d(p.rows(), p.cols());
-  p.lr.to_dense(d.view());
-  return d;
-}
-
-Block make_block(const la::DMatrix& value, bool lowrank, CompressionKind kind) {
+Tile make_tile(const la::DMatrix& value, bool lowrank, CompressionKind kind) {
   if (!lowrank) {
     la::DMatrix copy = value;
-    return Block::from_dense(std::move(copy));
+    return Tile::from_dense(std::move(copy));
   }
-  Block b = compress_to_block(kind, value.cview(), 1e-12);
+  Tile t = compress_to_tile(kind, value.cview(), 1e-12);
   // Tests construct genuinely low-rank inputs; ensure we got the LR form.
-  EXPECT_TRUE(b.is_lowrank());
-  return b;
+  EXPECT_TRUE(t.is_lowrank());
+  return t;
 }
 
 struct ProductCase {
@@ -51,19 +45,19 @@ TEST_P(AbtProduct, MatchesDenseReference) {
   const index_t m = 30, n = 26, w = 18;
   const la::DMatrix av = la::random_rank_k<real_t>(m, w, 5, rng);
   const la::DMatrix bv = la::random_rank_k<real_t>(n, w, 4, rng);
-  const Block a = make_block(av, p.a_lowrank, CompressionKind::Rrqr);
-  const Block b = make_block(bv, p.b_lowrank, CompressionKind::Rrqr);
+  const Tile a = make_tile(av, p.a_lowrank, CompressionKind::Rrqr);
+  const Tile b = make_tile(bv, p.b_lowrank, CompressionKind::Rrqr);
 
-  const Contribution prod =
+  const Tile prod =
       ab_t_product(a, b, CompressionKind::Rrqr, 1e-10, p.need_ortho);
   la::DMatrix expected(m, n);
   la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), av.cview(), bv.cview(),
            real_t(0), expected.view());
-  const la::DMatrix got = materialize_contribution(prod);
+  const la::DMatrix got = materialize(prod);
   EXPECT_LT(la::diff_fro(got.cview(), expected.cview()),
             1e-9 * (1 + la::norm_fro(expected.cview())));
   // Any combination with a low-rank operand must produce a low-rank result.
-  EXPECT_EQ(prod.lowrank, p.a_lowrank || p.b_lowrank);
+  EXPECT_EQ(prod.is_lowrank(), p.a_lowrank || p.b_lowrank);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -89,14 +83,14 @@ TEST(AbtProduct, OrthoResultHasOrthonormalU) {
   for (const bool a_lr : {true, false}) {
     for (const bool b_lr : {true, false}) {
       if (!a_lr && !b_lr) continue;
-      const Block a = make_block(av, a_lr, CompressionKind::Rrqr);
-      const Block b = make_block(bv, b_lr, CompressionKind::Rrqr);
-      const Contribution p = ab_t_product(a, b, CompressionKind::Rrqr, 1e-10, true);
-      ASSERT_TRUE(p.lowrank);
-      la::DMatrix g(p.lr.rank(), p.lr.rank());
-      la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), p.lr.u.cview(),
-               p.lr.u.cview(), real_t(0), g.view());
-      for (index_t i = 0; i < p.lr.rank(); ++i) g(i, i) -= 1;
+      const Tile a = make_tile(av, a_lr, CompressionKind::Rrqr);
+      const Tile b = make_tile(bv, b_lr, CompressionKind::Rrqr);
+      const Tile p = ab_t_product(a, b, CompressionKind::Rrqr, 1e-10, true);
+      ASSERT_TRUE(p.is_lowrank());
+      la::DMatrix g(p.rank(), p.rank());
+      la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), p.lr().u.cview(),
+               p.lr().u.cview(), real_t(0), g.view());
+      for (index_t i = 0; i < p.rank(); ++i) g(i, i) -= 1;
       EXPECT_LT(la::norm_fro(g.cview()), 1e-10) << a_lr << b_lr;
     }
   }
@@ -115,19 +109,18 @@ TEST(AbtProduct, LrLrRecompressionReducesRank) {
   la::gemm(la::Trans::No, la::Trans::No, real_t(1), tmp.cview(), core.cview(),
            real_t(0), bv.view());
 
-  const Block a = make_block(av, true, CompressionKind::Rrqr);
-  const Block b = make_block(bv, true, CompressionKind::Rrqr);
-  const Contribution p = ab_t_product(a, b, CompressionKind::Rrqr, 1e-9, true);
-  ASSERT_TRUE(p.lowrank);
-  EXPECT_LE(p.lr.rank(), 3 + 1);
+  const Tile a = make_tile(av, true, CompressionKind::Rrqr);
+  const Tile b = make_tile(bv, true, CompressionKind::Rrqr);
+  const Tile p = ab_t_product(a, b, CompressionKind::Rrqr, 1e-9, true);
+  ASSERT_TRUE(p.is_lowrank());
+  EXPECT_LE(p.rank(), 3 + 1);
 }
 
 TEST(ApplyToDense, SubtractsPlainAndTransposed) {
   Prng rng(9);
   const la::DMatrix pv = la::random_rank_k<real_t>(8, 6, 2, rng);
-  Contribution p;
-  p.lowrank = false;
-  p.dense = pv;
+  la::DMatrix copy = pv;
+  const Tile p = Tile::from_dense(std::move(copy), MemCategory::Workspace);
 
   la::DMatrix t1(8, 6);
   apply_to_dense(p, t1.view(), false);
@@ -157,18 +150,10 @@ TEST_P(ExtendAdd, MatchesDenseReference) {
   const index_t pm = 14, pn = 11;  // contribution dims (pre-transpose)
 
   const la::DMatrix cv = la::random_rank_k<real_t>(M, N, 5, rng);
-  Block c = make_block(cv, true, cfg.kind);
+  Tile c = make_tile(cv, true, cfg.kind);
 
   const la::DMatrix pv = la::random_rank_k<real_t>(pm, pn, 3, rng);
-  Contribution p;
-  if (cfg.p_lowrank) {
-    const Block tmp = make_block(pv, true, cfg.kind);
-    p.lowrank = true;
-    p.lr = tmp.lr();
-  } else {
-    p.lowrank = false;
-    p.dense = pv;
-  }
+  const Tile p = make_tile(pv, cfg.p_lowrank, cfg.kind);
 
   // Reference: dense C minus the (possibly transposed) padded contribution.
   la::DMatrix ref = cv;
@@ -179,7 +164,7 @@ TEST_P(ExtendAdd, MatchesDenseReference) {
       ref(cfg.roff + i, cfg.coff + j) -= cfg.transpose ? pv(j, i) : pv(i, j);
 
   lr2lr_add(c, p, cfg.roff, cfg.coff, cfg.kind, 1e-10, cfg.transpose);
-  const la::DMatrix got = materialize_block(c);
+  const la::DMatrix got = materialize(c);
   EXPECT_LT(la::diff_fro(got.cview(), ref.cview()),
             1e-8 * (1 + la::norm_fro(ref.cview())));
 }
@@ -210,18 +195,15 @@ TEST(ExtendAdd, RankZeroTargetAdoptsContribution) {
   Prng rng(2);
   const index_t M = 30, N = 30;
   la::DMatrix zero(M, N);
-  Block c = compress_to_block(CompressionKind::Rrqr, zero.cview(), 1e-8);
+  Tile c = compress_to_tile(CompressionKind::Rrqr, zero.cview(), 1e-8);
   ASSERT_EQ(c.rank(), 0);
 
   const la::DMatrix pv = la::random_rank_k<real_t>(10, 10, 2, rng);
-  const Block pb = make_block(pv, true, CompressionKind::Rrqr);
-  Contribution p;
-  p.lowrank = true;
-  p.lr = pb.lr();
+  const Tile p = make_tile(pv, true, CompressionKind::Rrqr);
   lr2lr_add(c, p, 5, 7, CompressionKind::Rrqr, 1e-10);
   ASSERT_TRUE(c.is_lowrank());
   EXPECT_EQ(c.rank(), 2);
-  const la::DMatrix got = materialize_block(c);
+  const la::DMatrix got = materialize(c);
   for (index_t j = 0; j < 10; ++j)
     for (index_t i = 0; i < 10; ++i)
       EXPECT_NEAR(got(5 + i, 7 + j), -pv(i, j), 1e-12);
@@ -232,14 +214,13 @@ TEST(ExtendAdd, DensifiesWhenRankExceedsBenefit) {
   Prng rng(4);
   const index_t M = 20, N = 20;  // beneficial limit ~9
   const la::DMatrix cv = la::random_rank_k<real_t>(M, N, 6, rng);
-  Block c = make_block(cv, true, CompressionKind::Rrqr);
+  Tile c = make_tile(cv, true, CompressionKind::Rrqr);
 
   // Full-rank contribution covering the whole block.
   la::DMatrix pv(M, N);
   la::random_normal(pv.view(), rng);
-  Contribution p;
-  p.lowrank = false;
-  p.dense = pv;
+  la::DMatrix pcopy = pv;
+  const Tile p = Tile::from_dense(std::move(pcopy), MemCategory::Workspace);
   lr2lr_add(c, p, 0, 0, CompressionKind::Rrqr, 1e-12);
   EXPECT_FALSE(c.is_lowrank());  // fell back to dense
   la::DMatrix ref = cv;
@@ -252,13 +233,10 @@ TEST(ExtendAdd, DenseTargetGetsPlainSubtraction) {
   Prng rng(6);
   const la::DMatrix cv = la::random_rank_k<real_t>(25, 25, 25, rng);
   la::DMatrix copy = cv;
-  Block c = Block::from_dense(std::move(copy));
+  Tile c = Tile::from_dense(std::move(copy));
 
   const la::DMatrix pv = la::random_rank_k<real_t>(8, 8, 2, rng);
-  const Block pb = make_block(pv, true, CompressionKind::Svd);
-  Contribution p;
-  p.lowrank = true;
-  p.lr = pb.lr();
+  const Tile p = make_tile(pv, true, CompressionKind::Svd);
   lr2lr_add(c, p, 3, 4, CompressionKind::Svd, 1e-10);
   ASSERT_FALSE(c.is_lowrank());
   for (index_t j = 0; j < 8; ++j)
@@ -266,8 +244,23 @@ TEST(ExtendAdd, DenseTargetGetsPlainSubtraction) {
       EXPECT_NEAR(c.dense()(3 + i, 4 + j), cv(3 + i, 4 + j) - pv(i, j), 1e-10);
 }
 
+TEST(ExtendAdd, FactoredTargetIsRejected) {
+  // The tile lifecycle forbids extend-adds into an already-factored tile:
+  // the driver must have applied every incoming update first.
+  Prng rng(11);
+  const la::DMatrix cv = la::random_rank_k<real_t>(20, 20, 3, rng);
+  Tile c = make_tile(cv, true, CompressionKind::Rrqr);
+  c.advance(TileState::Assembled);
+  c.advance(TileState::Compressed);
+  c.advance(TileState::Factored);
+
+  const la::DMatrix pv = la::random_rank_k<real_t>(6, 6, 2, rng);
+  const Tile p = make_tile(pv, true, CompressionKind::Rrqr);
+  EXPECT_THROW(lr2lr_add(c, p, 0, 0, CompressionKind::Rrqr, 1e-10), Error);
+}
+
 TEST(ExtendAdd, RepeatedUpdatesKeepToleranceProperty) {
-  // Many small contributions; the final materialized block must stay within
+  // Many small contributions; the final materialized tile must stay within
   // a modest multiple of the tolerance of the dense reference.
   for (const auto kind : {CompressionKind::Rrqr, CompressionKind::Svd}) {
     Prng rng(77);
@@ -275,7 +268,7 @@ TEST(ExtendAdd, RepeatedUpdatesKeepToleranceProperty) {
     const real_t tol = 1e-8;
     la::DMatrix ref(M, N);
     la::DMatrix zero(M, N);
-    Block c = compress_to_block(kind, zero.cview(), tol);
+    Tile c = compress_to_tile(kind, zero.cview(), tol);
     for (int it = 0; it < 12; ++it) {
       const index_t pm = 8 + static_cast<index_t>(rng.below(12));
       const index_t pn = 6 + static_cast<index_t>(rng.below(10));
@@ -284,10 +277,7 @@ TEST(ExtendAdd, RepeatedUpdatesKeepToleranceProperty) {
       const la::DMatrix pv = la::random_rank_k<real_t>(pm, pn, 2, rng);
       for (index_t j = 0; j < pn; ++j)
         for (index_t i = 0; i < pm; ++i) ref(ro + i, co + j) -= pv(i, j);
-      const Block pb = make_block(pv, true, kind);
-      Contribution p;
-      p.lowrank = true;
-      p.lr = pb.lr();
+      const Tile p = make_tile(pv, true, kind);
       lr2lr_add(c, p, ro, co, kind, tol);
     }
     la::DMatrix got(M, N);
