@@ -46,6 +46,9 @@ struct RunResult {
   real_t backward_error = 0;
   std::size_t factor_entries = 0;
   std::size_t factor_entries_dense = 0;
+  std::size_t factor_bytes = 0;    ///< precision-aware final factor bytes
+  std::size_t lowrank_bytes = 0;   ///< part of factor_bytes in low-rank U/V
+  index_t fp32_blocks = 0;         ///< blocks stored fp32 (MixedTiles only)
   std::size_t factors_peak_bytes = 0;
   std::size_t total_peak_bytes = 0;
   index_t lowrank_blocks = 0;
@@ -73,6 +76,9 @@ inline RunResult run_solver(const sparse::CscMatrix& a, const SolverOptions& opt
 
   r.factor_entries = s.stats().factor_entries_final;
   r.factor_entries_dense = s.stats().factor_entries_dense;
+  r.factor_bytes = s.stats().factor_bytes_final;
+  r.lowrank_bytes = s.stats().factor_bytes_lowrank;
+  r.fp32_blocks = s.stats().num_fp32_blocks;
   r.factors_peak_bytes = s.stats().factors_peak_bytes;
   r.total_peak_bytes = s.stats().total_peak_bytes;
   r.lowrank_blocks = s.stats().num_lowrank_blocks;
@@ -88,11 +94,13 @@ inline void json_run(std::FILE* out, const char* label, index_t dofs,
                      const RunResult& r) {
   std::fprintf(out,
                "    {\"config\": \"%s\", \"dofs\": %lld, "
-               "\"factor_bytes\": %zu, \"peak_bytes\": %zu, "
+               "\"factor_bytes\": %zu, \"lowrank_bytes\": %zu, "
+               "\"fp32_blocks\": %lld, \"peak_bytes\": %zu, "
                "\"factorization_s\": %.6f, \"backward_error\": %.3e, "
                "\"dense_block_fraction\": %.4f, \"kernels\": [",
-               label, static_cast<long long>(dofs),
-               r.factor_entries * sizeof(real_t), r.total_peak_bytes,
+               label, static_cast<long long>(dofs), r.factor_bytes,
+               r.lowrank_bytes,
+               static_cast<long long>(r.fp32_blocks), r.total_peak_bytes,
                r.factorization_time, static_cast<double>(r.backward_error),
                r.dense_block_fraction);
   for (std::size_t i = 0; i < r.dispatch.size(); ++i) {

@@ -4,7 +4,7 @@
 # clang-tidy on the numeric-engine headers.
 #
 #   scripts/ci.sh              # run every stage
-#   scripts/ci.sh debug        # one stage: debug | asan | ubsan | tsan | tidy
+#   scripts/ci.sh debug        # one stage: docs | debug | asan | ubsan | tsan | tidy
 #
 # Build trees go to build-ci-<stage>. The Debug stage exports
 # compile_commands.json and links it at the repo root for tooling.
@@ -51,6 +51,34 @@ run_tsan() {
         -R 'thread_pool|ParallelDeterminism|Trace'
 }
 
+# Documentation lint: every SolverOptions field must carry a doc comment —
+# either a /// block on the preceding line(s) or a trailing ///< — so the
+# README options table cannot silently drift from the header. Fails listing
+# the undocumented fields.
+run_docs() {
+  awk '
+    /^struct SolverOptions/ { in_struct = 1; next }
+    !in_struct              { next }
+    /^};/                   { exit bad }
+    {
+      line = $0
+      sub(/^[ \t]+/, "", line)
+    }
+    line ~ /^\/\/\// { prev_doc = 1; next }   # /// doc line: blesses the next field
+    line ~ /^\/\//   { prev_doc = 0; next }   # plain // comment does not
+    line == ""       { next }
+    line ~ /;[ \t]*(\/\/.*)?$/ {              # a member declaration
+      if (line ~ /\/\/\/</ || prev_doc) { prev_doc = 0; next }
+      printf "ci[docs]: undocumented SolverOptions field: %s\n", line
+      bad = 1
+      next
+    }
+    { prev_doc = 0 }
+    END { exit bad }
+  ' src/core/options.hpp
+  echo "ci[docs]: every SolverOptions field is documented"
+}
+
 # clang-tidy over the headers introduced by the tile-centric engine. Fails
 # on any warning; skipped (not failed) when clang-tidy is not installed.
 run_tidy() {
@@ -64,7 +92,7 @@ run_tidy() {
       -- -std=c++20 -x c++ -Isrc
 }
 
-STAGES=(debug asan ubsan tsan tidy)
+STAGES=(docs debug asan ubsan tsan tidy)
 if [[ $# -gt 0 ]]; then STAGES=("$@"); fi
 for stage in "${STAGES[@]}"; do
   echo "==== ci stage: $stage ===="

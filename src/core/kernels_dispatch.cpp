@@ -145,6 +145,45 @@ void k_compress(KernelCtx& ctx) {
   ctx.out_lr = lr::compress(ctx.kind, ctx.in, ctx.tolerance, ctx.max_rank);
 }
 
+// ---- fp32 promotion wrappers (DESIGN.md §10) -----------------------------
+//
+// Fp32 is an at-rest format only: these wrappers widen the stored factors to
+// fp64, run the exact same kernels as the fp64 keys, and round in-out
+// targets back down. Operand tiles may be read concurrently by other update
+// tasks, so their promotion always goes through Workspace-tracked scratch
+// copies; in-out targets are exclusively owned (panel solve) or held under
+// their supernode's lock (extend-add), so those convert in place.
+
+void k_trsm_lr32(KernelCtx& ctx) {
+  ctx.c->promote_lowrank();
+  k_trsm_lowrank(ctx);
+  ctx.c->demote_lowrank();
+}
+
+void k_gemm_promote(KernelCtx& ctx) {
+  lr::Tile sa, sb;
+  const lr::Tile* a = ctx.a;
+  const lr::Tile* b = ctx.b;
+  if (a->precision() == lr::Precision::Fp32) {
+    sa = lr::promote_copy(*a);
+    a = &sa;
+  }
+  if (b->precision() == lr::Precision::Fp32) {
+    sb = lr::promote_copy(*b);
+    b = &sb;
+  }
+  ctx.out = lr::ab_t_product(*a, *b, ctx.kind, ctx.tolerance, ctx.need_ortho,
+                             ctx.out_cat);
+}
+
+void k_lr2lr_c32(KernelCtx& ctx) {
+  ctx.c->promote_lowrank();
+  k_lr2lr(ctx);
+  // Demotion is sticky: the recompressed result goes back to fp32 unless the
+  // extend-add decided to fall back to dense storage.
+  if (ctx.c->is_lowrank()) ctx.c->demote_lowrank();
+}
+
 } // namespace
 
 KernelDispatch& KernelDispatch::instance() {
@@ -153,46 +192,69 @@ KernelDispatch& KernelDispatch::instance() {
 }
 
 KernelDispatch::KernelDispatch() {
-  register_kernel(KernelOp::Getrf, Rep::Dense, Rep::None, "getrf[ge]",
-                  Kernel::BlockFactorization, k_getrf);
-  register_kernel(KernelOp::Potrf, Rep::Dense, Rep::None, "potrf[ge]",
-                  Kernel::BlockFactorization, k_potrf);
-  register_kernel(KernelOp::Trsm, Rep::Dense, Rep::None, "trsm[ge]",
+  const Prec f64 = Prec::Fp64;
+  const Prec f32 = Prec::Fp32;
+  // Working-precision (fp64) kernels — the original 13.
+  register_kernel(KernelOp::Getrf, Rep::Dense, f64, Rep::None, f64,
+                  "getrf[ge]", Kernel::BlockFactorization, k_getrf);
+  register_kernel(KernelOp::Potrf, Rep::Dense, f64, Rep::None, f64,
+                  "potrf[ge]", Kernel::BlockFactorization, k_potrf);
+  register_kernel(KernelOp::Trsm, Rep::Dense, f64, Rep::None, f64, "trsm[ge]",
                   Kernel::PanelSolve, k_trsm_dense);
-  register_kernel(KernelOp::Trsm, Rep::LowRank, Rep::None, "trsm[lr]",
-                  Kernel::PanelSolve, k_trsm_lowrank);
-  register_kernel(KernelOp::Gemm, Rep::Dense, Rep::Dense, "gemm[ge,ge]",
-                  Kernel::DenseUpdate, k_gemm_dense);
-  register_kernel(KernelOp::Gemm, Rep::LowRank, Rep::Dense, "gemm[lr,ge]",
-                  Kernel::LrProduct, k_gemm_lr);
-  register_kernel(KernelOp::Gemm, Rep::Dense, Rep::LowRank, "gemm[ge,lr]",
-                  Kernel::LrProduct, k_gemm_lr);
-  register_kernel(KernelOp::Gemm, Rep::LowRank, Rep::LowRank, "gemm[lr,lr]",
-                  Kernel::LrProduct, k_gemm_lr);
-  register_kernel(KernelOp::Lr2Lr, Rep::Dense, Rep::None, "lr2lr[ge]",
-                  Kernel::LrAddition, k_lr2lr);
-  register_kernel(KernelOp::Lr2Lr, Rep::LowRank, Rep::None, "lr2lr[lr]",
-                  Kernel::LrAddition, k_lr2lr);
-  register_kernel(KernelOp::Lr2Ge, Rep::Dense, Rep::None, "lr2ge[ge]",
-                  Kernel::DenseUpdate, k_lr2ge);
-  register_kernel(KernelOp::Lr2Ge, Rep::LowRank, Rep::None, "lr2ge[lr]",
-                  Kernel::DenseUpdate, k_lr2ge);
-  register_kernel(KernelOp::Compress, Rep::Dense, Rep::None, "compress[ge]",
-                  Kernel::Compression, k_compress);
+  register_kernel(KernelOp::Trsm, Rep::LowRank, f64, Rep::None, f64,
+                  "trsm[lr]", Kernel::PanelSolve, k_trsm_lowrank);
+  register_kernel(KernelOp::Gemm, Rep::Dense, f64, Rep::Dense, f64,
+                  "gemm[ge,ge]", Kernel::DenseUpdate, k_gemm_dense);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f64, Rep::Dense, f64,
+                  "gemm[lr,ge]", Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Gemm, Rep::Dense, f64, Rep::LowRank, f64,
+                  "gemm[ge,lr]", Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f64, Rep::LowRank, f64,
+                  "gemm[lr,lr]", Kernel::LrProduct, k_gemm_lr);
+  register_kernel(KernelOp::Lr2Lr, Rep::Dense, f64, Rep::None, f64,
+                  "lr2lr[ge]", Kernel::LrAddition, k_lr2lr);
+  register_kernel(KernelOp::Lr2Lr, Rep::LowRank, f64, Rep::None, f64,
+                  "lr2lr[lr]", Kernel::LrAddition, k_lr2lr);
+  register_kernel(KernelOp::Lr2Ge, Rep::Dense, f64, Rep::None, f64,
+                  "lr2ge[ge]", Kernel::DenseUpdate, k_lr2ge);
+  register_kernel(KernelOp::Lr2Ge, Rep::LowRank, f64, Rep::None, f64,
+                  "lr2ge[lr]", Kernel::DenseUpdate, k_lr2ge);
+  register_kernel(KernelOp::Compress, Rep::Dense, f64, Rep::None, f64,
+                  "compress[ge]", Kernel::Compression, k_compress);
+  // Mixed-precision promotion wrappers. Dense tiles are never fp32, so only
+  // low-rank operand slots get Fp32 keys; the None slot of trsm/lr2lr
+  // carries the target tile's precision instead.
+  register_kernel(KernelOp::Trsm, Rep::LowRank, f32, Rep::None, f64,
+                  "trsm[lr32]", Kernel::PanelSolve, k_trsm_lr32);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f32, Rep::Dense, f64,
+                  "gemm[lr32,ge]", Kernel::LrProduct, k_gemm_promote);
+  register_kernel(KernelOp::Gemm, Rep::Dense, f64, Rep::LowRank, f32,
+                  "gemm[ge,lr32]", Kernel::LrProduct, k_gemm_promote);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f32, Rep::LowRank, f64,
+                  "gemm[lr32,lr]", Kernel::LrProduct, k_gemm_promote);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f64, Rep::LowRank, f32,
+                  "gemm[lr,lr32]", Kernel::LrProduct, k_gemm_promote);
+  register_kernel(KernelOp::Gemm, Rep::LowRank, f32, Rep::LowRank, f32,
+                  "gemm[lr32,lr32]", Kernel::LrProduct, k_gemm_promote);
+  register_kernel(KernelOp::Lr2Lr, Rep::Dense, f64, Rep::None, f32,
+                  "lr2lr[ge,c32]", Kernel::LrAddition, k_lr2lr_c32);
+  register_kernel(KernelOp::Lr2Lr, Rep::LowRank, f64, Rep::None, f32,
+                  "lr2lr[lr,c32]", Kernel::LrAddition, k_lr2lr_c32);
 }
 
-void KernelDispatch::register_kernel(KernelOp op, Rep a, Rep b,
-                                     const char* name, Kernel timer,
+void KernelDispatch::register_kernel(KernelOp op, Rep a, Prec pa, Rep b,
+                                     Prec pb, const char* name, Kernel timer,
                                      KernelFn fn) {
-  Entry& e = at(op, a, b);
+  Entry& e = at(op, a, pa, b, pb);
   if (e.fn == nullptr) order_.push_back(&e);
   e.name = name;
   e.timer = timer;
   e.fn = fn;
 }
 
-void KernelDispatch::run(KernelOp op, Rep a, Rep b, KernelCtx& ctx) {
-  Entry& e = at(op, a, b);
+void KernelDispatch::run(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
+                         KernelCtx& ctx) {
+  Entry& e = at(op, a, pa, b, pb);
   if (e.fn == nullptr) {
     throw Error(std::string("no kernel registered for ") + kernel_op_name(op));
   }
@@ -227,11 +289,15 @@ std::vector<DispatchCount> KernelDispatch::snapshot() const {
 
 void KernelDispatch::reset_counters() {
   for (auto& ops : table_) {
-    for (auto& rows : ops) {
-      for (auto& e : rows) {
-        e.calls.store(0, std::memory_order_relaxed);
-        e.bytes.store(0, std::memory_order_relaxed);
-        e.nanos.store(0, std::memory_order_relaxed);
+    for (auto& reps_a : ops) {
+      for (auto& precs_a : reps_a) {
+        for (auto& reps_b : precs_a) {
+          for (auto& e : reps_b) {
+            e.calls.store(0, std::memory_order_relaxed);
+            e.bytes.store(0, std::memory_order_relaxed);
+            e.nanos.store(0, std::memory_order_relaxed);
+          }
+        }
       }
     }
   }
@@ -246,7 +312,8 @@ index_t factor_diag(lr::Tile& diag, std::vector<index_t>& piv, bool llt,
   ctx.piv = &piv;
   ctx.pivot_cutoff = pivot_cutoff;
   KernelDispatch::instance().run(llt ? KernelOp::Potrf : KernelOp::Getrf,
-                                 Rep::Dense, Rep::None, ctx);
+                                 Rep::Dense, Prec::Fp64, Rep::None,
+                                 Prec::Fp64, ctx);
   replaced = ctx.replaced;
   return ctx.info;
 }
@@ -259,7 +326,8 @@ void panel_solve(const lr::Tile& diag, const std::vector<index_t>& piv,
   ctx.piv = const_cast<std::vector<index_t>*>(&piv);
   ctx.llt = llt;
   ctx.upper = upper;
-  KernelDispatch::instance().run(KernelOp::Trsm, rep_of(blk), Rep::None, ctx);
+  KernelDispatch::instance().run(KernelOp::Trsm, rep_of(blk), prec_of(blk),
+                                 Rep::None, Prec::Fp64, ctx);
 }
 
 lr::Tile product(const lr::Tile& a, const lr::Tile& b, lr::CompressionKind kind,
@@ -271,7 +339,8 @@ lr::Tile product(const lr::Tile& a, const lr::Tile& b, lr::CompressionKind kind,
   ctx.tolerance = tol;
   ctx.need_ortho = need_ortho;
   ctx.out_cat = MemCategory::Workspace;
-  KernelDispatch::instance().run(KernelOp::Gemm, rep_of(a), rep_of(b), ctx);
+  KernelDispatch::instance().run(KernelOp::Gemm, rep_of(a), prec_of(a),
+                                 rep_of(b), prec_of(b), ctx);
   return std::move(ctx.out);
 }
 
@@ -282,7 +351,8 @@ void gemm_into(la::DView target, const lr::Tile& a, const lr::Tile& b,
   ctx.b = &b;
   ctx.view = target;
   ctx.transpose = transpose;
-  KernelDispatch::instance().run(KernelOp::Gemm, Rep::Dense, Rep::Dense, ctx);
+  KernelDispatch::instance().run(KernelOp::Gemm, Rep::Dense, Prec::Fp64,
+                                 Rep::Dense, Prec::Fp64, ctx);
 }
 
 void apply_contribution(la::DView target, const lr::Tile& p, bool transpose) {
@@ -290,7 +360,8 @@ void apply_contribution(la::DView target, const lr::Tile& p, bool transpose) {
   ctx.a = &p;
   ctx.view = target;
   ctx.transpose = transpose;
-  KernelDispatch::instance().run(KernelOp::Lr2Ge, rep_of(p), Rep::None, ctx);
+  KernelDispatch::instance().run(KernelOp::Lr2Ge, rep_of(p), prec_of(p),
+                                 Rep::None, Prec::Fp64, ctx);
 }
 
 void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
@@ -306,9 +377,13 @@ void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
   ctx.kind = kind;
   ctx.tolerance = tol;
   ctx.transpose = transpose;
+  // The None slot's precision carries the *target* tile's precision, so
+  // extend-adds into fp32 tiles route to the promote/demote wrapper and get
+  // their own counter row.
   KernelDispatch::instance().run(c.is_lowrank() ? KernelOp::Lr2Lr
                                                 : KernelOp::Lr2Ge,
-                                 rep_of(p), Rep::None, ctx);
+                                 rep_of(p), prec_of(p), Rep::None, prec_of(c),
+                                 ctx);
 }
 
 std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
@@ -318,8 +393,8 @@ std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
   ctx.kind = kind;
   ctx.tolerance = tol;
   ctx.max_rank = max_rank;
-  KernelDispatch::instance().run(KernelOp::Compress, Rep::Dense, Rep::None,
-                                 ctx);
+  KernelDispatch::instance().run(KernelOp::Compress, Rep::Dense, Prec::Fp64,
+                                 Rep::None, Prec::Fp64, ctx);
   return std::move(ctx.out_lr);
 }
 

@@ -24,11 +24,24 @@ enum class KernelOp : int {
   kCount
 };
 
-/// Storage representation of an operand, the dispatch key dimension.
+/// Storage representation of an operand, the first dispatch key dimension.
 enum class Rep : int { None = 0, Dense, LowRank, kCount };
 
 inline Rep rep_of(const lr::Tile& t) {
   return t.is_lowrank() ? Rep::LowRank : Rep::Dense;
+}
+
+/// At-rest storage precision of an operand, the second dispatch key
+/// dimension. All arithmetic runs in fp64 — Fp32 keys select promotion
+/// wrappers that widen the stored factors before calling the same fp64
+/// math, then (for in-out targets) round the result back (DESIGN.md §10).
+/// `None`-rep slots reuse this dimension to carry the precision of the
+/// operation's implicit target, so e.g. extend-adds into fp32 tiles get
+/// their own counter row.
+enum class Prec : int { Fp64 = 0, Fp32, kCount };
+
+inline Prec prec_of(const lr::Tile& t) {
+  return t.precision() == lr::Precision::Fp32 ? Prec::Fp32 : Prec::Fp64;
 }
 
 const char* kernel_op_name(KernelOp op);
@@ -62,23 +75,29 @@ struct KernelCtx {
 
 using KernelFn = void (*)(KernelCtx&);
 
-/// Registry of numeric kernels keyed on (operation, repA, repB). Every call
-/// is counted (invocations, operand bytes touched, wall time), timed into
-/// the existing KernelStats rows, and routed to the registered function —
-/// so a new kernel (another precision, another compression family) plugs in
-/// with register_kernel() and the driver loop never changes.
+/// Registry of numeric kernels keyed on (operation, repA, precA, repB,
+/// precB). Every call is counted (invocations, operand bytes touched, wall
+/// time), timed into the existing KernelStats rows, and routed to the
+/// registered function — so a new kernel (another precision, another
+/// compression family) plugs in with register_kernel() and the driver loop
+/// never changes. The fp32 keys are exactly such a plug-in: promotion
+/// wrappers registered alongside the fp64 kernels, giving per-precision
+/// call/byte counters for free in snapshot().
 class KernelDispatch {
 public:
   static KernelDispatch& instance();
 
   /// Install (or replace) the kernel for a key. `timer` selects the
   /// KernelStats row the call time is charged to.
-  void register_kernel(KernelOp op, Rep a, Rep b, const char* name,
-                       Kernel timer, KernelFn fn);
+  void register_kernel(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
+                       const char* name, Kernel timer, KernelFn fn);
 
   /// Dispatch one call: counts, times, and runs the registered kernel.
-  /// Throws blr::Error when no kernel is registered for the key.
-  void run(KernelOp op, Rep a, Rep b, KernelCtx& ctx);
+  /// Operand bytes are measured on the tiles as stored (fp32 operands count
+  /// their fp32 size; promotion scratch is charged to the Workspace memory
+  /// category, never to the kernel's own byte counter). Throws blr::Error
+  /// when no kernel is registered for the key.
+  void run(KernelOp op, Rep a, Prec pa, Rep b, Prec pb, KernelCtx& ctx);
 
   /// Per-kernel counters since the last reset, zero-call entries omitted,
   /// in registration order.
@@ -102,14 +121,20 @@ private:
 
   static constexpr int kOps = static_cast<int>(KernelOp::kCount);
   static constexpr int kReps = static_cast<int>(Rep::kCount);
-  Entry& at(KernelOp op, Rep a, Rep b) {
-    return table_[static_cast<int>(op)][static_cast<int>(a)][static_cast<int>(b)];
+  static constexpr int kPrecs = static_cast<int>(Prec::kCount);
+  Entry& at(KernelOp op, Rep a, Prec pa, Rep b, Prec pb) {
+    return table_[static_cast<int>(op)][static_cast<int>(a)]
+                 [static_cast<int>(pa)][static_cast<int>(b)]
+                 [static_cast<int>(pb)];
   }
-  [[nodiscard]] const Entry& at(KernelOp op, Rep a, Rep b) const {
-    return table_[static_cast<int>(op)][static_cast<int>(a)][static_cast<int>(b)];
+  [[nodiscard]] const Entry& at(KernelOp op, Rep a, Prec pa, Rep b,
+                                Prec pb) const {
+    return table_[static_cast<int>(op)][static_cast<int>(a)]
+                 [static_cast<int>(pa)][static_cast<int>(b)]
+                 [static_cast<int>(pb)];
   }
 
-  Entry table_[kOps][kReps][kReps];
+  Entry table_[kOps][kReps][kPrecs][kReps][kPrecs];
   std::vector<const Entry*> order_;  ///< registration order for snapshots
 };
 

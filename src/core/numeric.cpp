@@ -14,8 +14,9 @@ namespace blr::core {
 
 namespace {
 
-bool all_finite(const la::DMatrix& m) {
-  const real_t* p = m.data();
+template <typename T>
+bool all_finite(const la::Matrix<T>& m) {
+  const T* p = m.data();
   const std::size_t n = static_cast<std::size_t>(m.size());
   for (std::size_t i = 0; i < n; ++i) {
     if (!std::isfinite(static_cast<double>(p[i]))) return false;
@@ -25,7 +26,11 @@ bool all_finite(const la::DMatrix& m) {
 
 bool all_finite(const lr::Tile& t) {
   if (t.rank() == 0) return true;
-  if (t.is_lowrank()) return all_finite(t.lr().u) && all_finite(t.lr().v);
+  if (t.is_lowrank()) {
+    if (t.precision() == lr::Precision::Fp32)
+      return all_finite(t.lr().u32) && all_finite(t.lr().v32);
+    return all_finite(t.lr().u) && all_finite(t.lr().v);
+  }
   return all_finite(t.dense());
 }
 
@@ -77,6 +82,8 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
   pctx_.kind = opts_.kind;
   pctx_.tolerance = opts_.tolerance;
   pctx_.adaptive_rank_fraction = opts_.adaptive_rank_fraction;
+  pctx_.precision = opts_.precision;
+  pctx_.mixed_rank_threshold = opts_.mixed_rank_threshold;
   pctx_.compression_site = [this](index_t k) { maybe_fail_compression(k); };
   ap_ = a.permuted(ord_.perm);
   if (!llt_) apt_ = ap_.transposed();
@@ -684,6 +691,25 @@ void NumericFactor::solve_permuted(la::DView x) const {
   const index_t ncblk = sf_.num_cblks();
   const index_t nrhs = x.cols;
   la::DMatrix tmp;
+  la::DMatrix pu, pv;  // fp64 scratch for fp32-at-rest factors
+  // Fp64 tiles hand out their factors directly (the solve stays
+  // bit-identical to the pure-fp64 build); fp32 tiles are widened into the
+  // reused scratch pair first so all solve arithmetic runs in fp64.
+  const auto lr_views = [&pu, &pv](const lr::Tile& blk, la::DConstView& u,
+                                   la::DConstView& v) {
+    if (blk.precision() == lr::Precision::Fp32) {
+      const lr::LrMatrix& f = blk.lr();
+      pu.reshape(f.u32.rows(), f.u32.cols());
+      la::convert(f.u32.cview(), pu.view());
+      pv.reshape(f.v32.rows(), f.v32.cols());
+      la::convert(f.v32.cview(), pv.view());
+      u = pu.cview();
+      v = pv.cview();
+    } else {
+      u = blk.lr().u.cview();
+      v = blk.lr().v.cview();
+    }
+  };
 
   // Forward substitution: L·Y = (locally pivoted) B.
   for (index_t k = 0; k < ncblk; ++k) {
@@ -710,11 +736,13 @@ void NumericFactor::solve_permuted(la::DView x) const {
       if (blk.rank() == 0) continue;
       la::DView xi = x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
       if (blk.is_lowrank()) {
+        la::DConstView bu, bv;
+        lr_views(blk, bu, bv);
         tmp.reshape(blk.rank(), nrhs);
-        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), blk.lr().v.cview(),
+        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), bv,
                  la::DConstView(xk), real_t(0), tmp.view());
-        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.lr().u.cview(),
-                 tmp.cview(), real_t(1), xi);
+        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), bu, tmp.cview(),
+                 real_t(1), xi);
       } else {
         la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.dense().cview(),
                  la::DConstView(xk), real_t(1), xi);
@@ -735,11 +763,13 @@ void NumericFactor::solve_permuted(la::DView x) const {
           x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
       // xk -= blokᵗ·x_rows (both panels are stored rows x width).
       if (blk.is_lowrank()) {
+        la::DConstView bu, bv;
+        lr_views(blk, bu, bv);
         tmp.reshape(blk.rank(), nrhs);
-        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), blk.lr().u.cview(), xi,
-                 real_t(0), tmp.view());
-        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.lr().v.cview(),
-                 tmp.cview(), real_t(1), xk);
+        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), bu, xi, real_t(0),
+                 tmp.view());
+        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), bv, tmp.cview(),
+                 real_t(1), xk);
       } else {
         la::gemm(la::Trans::Yes, la::Trans::No, real_t(-1), blk.dense().cview(), xi,
                  real_t(1), xk);
@@ -784,6 +814,39 @@ std::size_t NumericFactor::final_entries() const {
     for (const auto& blk : cd.upanel) e += blk.storage_entries();
   }
   return e;
+}
+
+std::size_t NumericFactor::final_bytes() const {
+  std::size_t b = 0;
+  for (index_t k = 0; k < sf_.num_cblks(); ++k) {
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    b += cd.diag.storage_bytes();
+    for (const auto& blk : cd.lpanel) b += blk.storage_bytes();
+    for (const auto& blk : cd.upanel) b += blk.storage_bytes();
+  }
+  return b;
+}
+
+std::size_t NumericFactor::lowrank_bytes() const {
+  std::size_t b = 0;
+  for (const auto& cd : data_) {
+    for (const auto& blk : cd.lpanel)
+      if (blk.is_lowrank()) b += blk.storage_bytes();
+    for (const auto& blk : cd.upanel)
+      if (blk.is_lowrank()) b += blk.storage_bytes();
+  }
+  return b;
+}
+
+index_t NumericFactor::num_fp32_blocks() const {
+  index_t n = 0;
+  for (const auto& cd : data_) {
+    for (const auto& blk : cd.lpanel)
+      n += blk.precision() == lr::Precision::Fp32 ? 1 : 0;
+    for (const auto& blk : cd.upanel)
+      n += blk.precision() == lr::Precision::Fp32 ? 1 : 0;
+  }
+  return n;
 }
 
 index_t NumericFactor::num_lowrank_blocks() const {

@@ -89,6 +89,14 @@ public:
 
   /// Entries actually stored (dense + low-rank factors, diag included).
   [[nodiscard]] std::size_t final_entries() const;
+  /// Bytes actually stored — precision-aware, so under MixedTiles this is
+  /// less than final_entries() * sizeof(real_t).
+  [[nodiscard]] std::size_t final_bytes() const;
+  /// Bytes of final_bytes() held by low-rank U/V factors — the part of the
+  /// storage that is eligible for fp32 demotion under MixedTiles.
+  [[nodiscard]] std::size_t lowrank_bytes() const;
+  /// Panel blocks whose factors ended in fp32 at-rest storage.
+  [[nodiscard]] index_t num_fp32_blocks() const;
   [[nodiscard]] index_t num_lowrank_blocks() const;
   [[nodiscard]] index_t num_dense_blocks() const;
   /// Mean rank over the final low-rank blocks (dense blocks excluded).

@@ -34,6 +34,15 @@ enum class Factorization {
   Llt,
 };
 
+/// Per-tile storage precision policy (DESIGN.md §10). All arithmetic always
+/// runs in fp64; MixedTiles only changes how low-rank factors are *stored*
+/// between kernels.
+enum class TilePrecision {
+  Fp64,        ///< every tile stored in working precision (bit-identical baseline)
+  MixedTiles,  ///< eligible low-rank U/V factors stored in fp32 at rest;
+               ///< dense tiles and diagonal (pivotal) blocks always stay fp64
+};
+
 /// Update scheduling. Right-looking is the paper's setup (static parallel
 /// scheduler). Left-looking is the §4.3 extension: a supernode's panels are
 /// allocated, assembled and updated only when it is eliminated, so the
@@ -131,12 +140,37 @@ struct RecoveryPolicy {
 /// paper's experimental setup (§4: split 256/128, compressible width 128,
 /// minimal height 20, RRQR, τ = 1e-8).
 struct SolverOptions {
+  /// Compression scenario (default JustInTime): which blocks go low-rank
+  /// and when. Read by the numeric engine's update policy; Dense disables
+  /// compression entirely.
   Strategy strategy = Strategy::JustInTime;
+  /// LU vs LLᵗ (default Auto: LLᵗ when the matrix is marked SPD). Read by
+  /// every strategy.
   Factorization factorization = Factorization::Auto;
+  /// Rank-revealing compression family, RRQR (default, the paper's choice)
+  /// or SVD. Read by every compressing strategy.
   lr::CompressionKind kind = lr::CompressionKind::Rrqr;
-  real_t tolerance = 1e-8;  ///< block compression tolerance τ
-  int threads = 1;          ///< worker threads for the numeric factorization
+  real_t tolerance = 1e-8;  ///< block compression tolerance τ (default 1e-8); read by every compressing strategy
+  int threads = 1;          ///< worker threads for the numeric factorization (default 1 = sequential); read by every strategy
+  /// Right-looking (default, the paper's setup) or left-looking traversal.
+  /// Left-looking is sequential-only and mainly benefits JustInTime's
+  /// memory peak (§4.3).
   Scheduling scheduling = Scheduling::RightLooking;
+
+  /// Per-tile storage precision (default Fp64). MixedTiles stores the U/V
+  /// factors of eligible low-rank tiles in fp32 at rest — roughly halving
+  /// Factors bytes on the compressed part — while all arithmetic, dense
+  /// tiles and diagonal/pivotal blocks stay fp64 (DESIGN.md §10). Read by
+  /// every compressing strategy (JustInTime, MinimalMemory, Adaptive);
+  /// ignored by Dense.
+  TilePrecision precision = TilePrecision::Fp64;
+
+  /// Demotion rank cap under MixedTiles: a low-rank tile demotes to fp32
+  /// only when its rank is at most this; < 0 (default) demotes every
+  /// low-rank tile. Lets callers keep the heaviest (highest-rank) factors
+  /// in fp64 while the long tail of small tiles takes the memory win.
+  /// Ignored when precision == Fp64.
+  index_t mixed_rank_threshold = -1;
 
   /// Task scheduler for the parallel factorization. WorkStealing (default)
   /// runs supernode eliminations on per-worker deques with critical-path
@@ -151,10 +185,15 @@ struct SolverOptions {
   /// the pool idles (work-stealing scheduler only). 0 disables splitting.
   index_t panel_split_rows = 512;
 
+  /// Nested-dissection ordering knobs (defaults follow the paper's setup);
+  /// read by analyze() before any strategy runs.
   ordering::NdOptions nd;
+  /// Supernode splitting (paper §4: split 256/128); read by analyze().
   symbolic::SplitOptions split;
+  /// Amalgamation tuning (fill budget for merging small supernodes); read
+  /// by analyze() when `amalgamate` is set.
   symbolic::AmalgamationOptions amalgamation;
-  bool amalgamate = true;  ///< merge small supernodes under the frat budget
+  bool amalgamate = true;  ///< merge small supernodes under the fill budget (default on); read by analyze()
 
   /// A column block is compressible when at least this wide...
   index_t compress_min_width = 128;
@@ -197,6 +236,8 @@ struct SolverOptions {
   /// accumulated rank reaches `accumulate_max_rank` (or at the target's
   /// elimination), instead of paying one Θ(m_C·…) recompression per update.
   bool accumulate_updates = false;
+  /// Accumulated-rank flush threshold for `accumulate_updates` (default 32);
+  /// read by MinimalMemory/Adaptive when accumulation is on.
   index_t accumulate_max_rank = 32;
 
   /// Strategy::Adaptive keeps an assembled tile low-rank only when its rank
@@ -209,5 +250,6 @@ struct SolverOptions {
 
 const char* strategy_name(Strategy s);
 const char* kind_name(lr::CompressionKind k);
+const char* precision_name(TilePrecision p);
 
 } // namespace blr::core

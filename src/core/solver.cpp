@@ -56,6 +56,14 @@ const char* kind_name(lr::CompressionKind k) {
   return "?";
 }
 
+const char* precision_name(TilePrecision p) {
+  switch (p) {
+    case TilePrecision::Fp64: return "fp64";
+    case TilePrecision::MixedTiles: return "mixed-tiles";
+  }
+  return "?";
+}
+
 const char* recovery_action_name(RecoveryStep::Action a) {
   switch (a) {
     case RecoveryStep::Action::TightenTolerance: return "tighten-tolerance";
@@ -206,6 +214,9 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.factor_entries_dense =
       llt_ ? sf_->factor_entries_lower() : sf_->factor_entries_lu();
   stats_.factor_entries_final = num_->final_entries();
+  stats_.factor_bytes_final = num_->final_bytes();
+  stats_.factor_bytes_lowrank = num_->lowrank_bytes();
+  stats_.num_fp32_blocks = num_->num_fp32_blocks();
   stats_.factors_peak_bytes = MemoryTracker::instance().peak(MemCategory::Factors);
   stats_.total_peak_bytes = MemoryTracker::instance().peak_total();
   stats_.num_lowrank_blocks = num_->num_lowrank_blocks();
@@ -266,7 +277,13 @@ void Solver::print_summary(std::ostream& os) const {
      << (opts_.scheduling == Scheduling::LeftLooking ? "left-looking"
                                                      : "right-looking")
      << ", threads = " << opts_.threads << " ("
-     << scheduler_name(opts_.scheduler) << ")\n";
+     << scheduler_name(opts_.scheduler) << ")\n"
+     << "  precision     : " << precision_name(opts_.precision);
+  if (opts_.precision == TilePrecision::MixedTiles &&
+      opts_.mixed_rank_threshold >= 0) {
+    os << " (rank cap " << opts_.mixed_rank_threshold << ")";
+  }
+  os << "\n";
   if (!analyzed()) {
     os << "  (not analyzed yet)\n";
     return;
@@ -281,12 +298,16 @@ void Solver::print_summary(std::ostream& os) const {
   os << "  factorization : " << (llt_ ? "LL^t" : "LU") << ", "
      << stats_.time_factorize << " s\n"
      << "  factors       : "
-     << static_cast<double>(stats_.factor_entries_final) * sizeof(real_t) / 1e6
+     << static_cast<double>(stats_.factor_bytes_final) / 1e6
      << " MB (dense "
      << static_cast<double>(stats_.factor_entries_dense) * sizeof(real_t) / 1e6
      << " MB, ratio " << stats_.compression_ratio() << "x)\n"
      << "  blocks        : " << stats_.num_lowrank_blocks << " low-rank (avg rank "
-     << stats_.average_rank << "), " << stats_.num_dense_blocks << " dense\n"
+     << stats_.average_rank << "), " << stats_.num_dense_blocks << " dense";
+  if (stats_.num_fp32_blocks > 0) {
+    os << ", " << stats_.num_fp32_blocks << " in fp32";
+  }
+  os << "\n"
      << "  dense fraction: " << stats_.dense_block_fraction
      << " of compressible blocks kept dense\n"
      << "  memory peak   : "

@@ -19,11 +19,17 @@ namespace blr::core {
 ///   blr::core::SolverOptions opts;
 ///   opts.strategy = blr::core::Strategy::MinimalMemory;
 ///   opts.tolerance = 1e-8;
+///   opts.precision = blr::core::TilePrecision::MixedTiles;  // optional fp32 LR storage
 ///   blr::core::Solver solver(opts);
 ///   solver.factorize(A);              // analyze() implied
 ///   solver.solve(b.data(), x.data());
 ///   solver.refine(A, b.data(), x.data());  // optional GMRES/CG polish
 /// ```
+///
+/// Every configuration knob lives in SolverOptions (see options.hpp: each
+/// field documents its default and which strategy reads it); measurements of
+/// the last run — times, compression, per-precision kernel counters, memory
+/// peaks — are in stats() and pretty-printed by print_summary().
 class Solver {
 public:
   explicit Solver(SolverOptions opts = {});
@@ -38,7 +44,9 @@ public:
   void analyze(const sparse::CscMatrix& a);
 
   /// Numeric phase: assembly (+ initial compression for Minimal-Memory) and
-  /// the block factorization under the configured strategy.
+  /// the block factorization under the configured strategy. Under
+  /// TilePrecision::MixedTiles, low-rank factors below the demotion rank cap
+  /// are stored in fp32 between kernels (DESIGN.md §10).
   void factorize(const sparse::CscMatrix& a);
 
   /// Direct triangular solve (b, x of length n; aliasing allowed).
@@ -102,4 +110,5 @@ using core::Solver;
 using core::SolverOptions;
 using core::SolverStats;
 using core::Strategy;
+using core::TilePrecision;
 } // namespace blr

@@ -50,6 +50,17 @@ struct SolverStats {
   std::size_t factor_entries_dense = 0;
   /// Entries actually stored at the end of the factorization.
   std::size_t factor_entries_final = 0;
+  /// Bytes actually stored at the end of the factorization. Precision-aware:
+  /// under TilePrecision::MixedTiles the fp32 factors cost half, so this is
+  /// less than factor_entries_final * sizeof(real_t).
+  std::size_t factor_bytes_final = 0;
+  /// The part of factor_bytes_final held by low-rank U/V factors — the
+  /// storage that MixedTiles can demote to fp32 (dense and diagonal blocks
+  /// make up the rest and always stay fp64).
+  std::size_t factor_bytes_lowrank = 0;
+  /// Panel blocks whose low-rank factors ended in fp32 at-rest storage
+  /// (always 0 under TilePrecision::Fp64).
+  index_t num_fp32_blocks = 0;
 
   /// Peak bytes in the Factors memory category during factorization.
   std::size_t factors_peak_bytes = 0;

@@ -4,6 +4,21 @@
 
 namespace blr::core {
 
+namespace {
+
+/// DESIGN.md §10: round a freshly compressed tile's U/V factors to fp32
+/// at-rest storage when mixed precision is on and the rank is under the
+/// cap. Every compression site (assembly or elimination, all strategies)
+/// funnels through this, so the demotion decision lives in one place.
+void maybe_demote(lr::Tile& t, const PolicyContext& ctx) {
+  if (ctx.precision != TilePrecision::MixedTiles || !t.is_lowrank()) return;
+  if (ctx.mixed_rank_threshold >= 0 && t.rank() > ctx.mixed_rank_threshold)
+    return;
+  t.demote_lowrank();
+}
+
+} // namespace
+
 lr::Tile UpdatePolicy::assemble(index_t k, la::DMatrix scratch,
                                 bool compressible, const PolicyContext& ctx,
                                 lr::TileArena& arena) const {
@@ -22,6 +37,7 @@ void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
   if (lrm) {
     t.set_lowrank(std::move(*lrm));
     t.advance(lr::TileState::Compressed);
+    maybe_demote(t, ctx);
   }
 }
 
@@ -67,8 +83,10 @@ public:
         ctx.kind, scratch.cview(), ctx.tolerance,
         lr::beneficial_rank_limit(scratch.rows(), scratch.cols()));
     if (lrm) {
-      return lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
-                                    std::move(*lrm), arena);
+      lr::Tile t = lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
+                                          std::move(*lrm), arena);
+      maybe_demote(t, ctx);
+      return t;
     }
     return lr::Tile::from_dense(std::move(scratch), arena);
   }
@@ -102,8 +120,10 @@ public:
     if (ctx.compression_site) ctx.compression_site(k);
     auto lrm = dispatch::compress(ctx.kind, scratch.cview(), ctx.tolerance, cap);
     if (lrm) {
-      return lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
-                                    std::move(*lrm), arena);
+      lr::Tile t = lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
+                                          std::move(*lrm), arena);
+      maybe_demote(t, ctx);
+      return t;
     }
     return lr::Tile::from_dense(std::move(scratch), arena);
   }

@@ -159,8 +159,30 @@ void transpose(ConstView<T> src, MatView<T> dst) {
     for (index_t i = 0; i < src.rows; ++i) dst(j, i) = src(i, j);
 }
 
+/// Element-converting copy between storage precisions (shapes must match).
+/// fp64 → fp32 rounds to nearest (the demotion of the mixed-precision tile
+/// storage); fp32 → fp64 is exact (the promotion the kernels apply before
+/// computing in double).
+template <typename Src, typename Dst>
+void convert(ConstView<Src> src, MatView<Dst> dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t j = 0; j < src.cols; ++j) {
+    const Src* s = src.col(j);
+    Dst* d = dst.col(j);
+    for (index_t i = 0; i < src.rows; ++i) d[i] = static_cast<Dst>(s[i]);
+  }
+}
+
 using DMatrix = Matrix<real_t>;
 using DView = MatView<real_t>;
 using DConstView = ConstView<real_t>;
+
+/// Single-precision storage used by mixed-precision low-rank tiles. All
+/// arithmetic stays in real_t (double): fp32 buffers only ever hold data at
+/// rest and are promoted via la::convert before entering a kernel.
+using single_t = float;
+using SMatrix = Matrix<single_t>;
+using SView = MatView<single_t>;
+using SConstView = ConstView<single_t>;
 
 } // namespace blr::la

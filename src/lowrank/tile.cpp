@@ -12,4 +12,30 @@ const char* tile_state_name(TileState s) {
   return "?";
 }
 
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Fp64: return "fp64";
+    case Precision::Fp32: return "fp32";
+  }
+  return "?";
+}
+
+Tile promote_copy(const Tile& t, MemCategory cat) {
+  if (!t.is_lowrank()) {
+    // Dense tiles are always fp64 already; a copy would only waste memory.
+    throw Error("promote_copy: only low-rank tiles need promotion");
+  }
+  LrMatrix lr;
+  if (t.precision() == Precision::Fp32) {
+    lr.u = la::DMatrix(t.lr().u32.rows(), t.lr().u32.cols());
+    la::convert(t.lr().u32.cview(), lr.u.view());
+    lr.v = la::DMatrix(t.lr().v32.rows(), t.lr().v32.cols());
+    la::convert(t.lr().v32.cview(), lr.v.view());
+  } else {
+    lr.u = t.lr().u;
+    lr.v = t.lr().v;
+  }
+  return Tile::make_lowrank(t.rows(), t.cols(), std::move(lr), cat);
+}
+
 } // namespace blr::lr

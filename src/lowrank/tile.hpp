@@ -11,37 +11,114 @@
 
 namespace blr::lr {
 
+/// Storage precision of a low-rank tile's U/V factors. All arithmetic is
+/// carried out in real_t (double); Fp32 is an *at-rest* format only — the
+/// dispatch layer promotes fp32 factors to fp64 scratch before any kernel
+/// touches them and demotes the result back (DESIGN.md §10). Dense tiles
+/// and diagonal (pivotal) blocks are always Fp64.
+enum class Precision : std::uint8_t { Fp64 = 0, Fp32 };
+
+const char* precision_name(Precision p);
+
 /// Rank-r factorization A ≈ U·Vᵗ with U: m x r and V: n x r.
 /// Every kernel in this library maintains U with orthonormal columns; V
 /// carries the scaling (paper §3: u orthogonal, vᵗ = R or σ·Vᵗ).
+///
+/// The factors live either in fp64 (`u`/`v`, the working precision) or,
+/// after a mixed-precision demotion, in fp32 (`u32`/`v32`); exactly one
+/// pair is populated, selected by `prec`. demote()/promote() convert
+/// between the two in place.
 struct LrMatrix {
   la::DMatrix u;
   la::DMatrix v;
+  la::SMatrix u32;  ///< fp32 at-rest factors (active when prec == Fp32)
+  la::SMatrix v32;
+  Precision prec = Precision::Fp64;
 
   LrMatrix() = default;
   LrMatrix(la::DMatrix u_, la::DMatrix v_) : u(std::move(u_)), v(std::move(v_)) {}
 
-  [[nodiscard]] index_t rows() const { return u.rows(); }
-  [[nodiscard]] index_t cols() const { return v.rows(); }
-  [[nodiscard]] index_t rank() const { return u.cols(); }
+  [[nodiscard]] index_t rows() const {
+    return prec == Precision::Fp32 ? u32.rows() : u.rows();
+  }
+  [[nodiscard]] index_t cols() const {
+    return prec == Precision::Fp32 ? v32.rows() : v.rows();
+  }
+  [[nodiscard]] index_t rank() const {
+    return prec == Precision::Fp32 ? u32.cols() : u.cols();
+  }
   [[nodiscard]] std::size_t entries() const {
-    return static_cast<std::size_t>(u.size() + v.size());
+    return static_cast<std::size_t>(u.size() + v.size() + u32.size() +
+                                    v32.size());
+  }
+  /// Bytes actually stored: fp32 factors cost half of their fp64 form.
+  [[nodiscard]] std::size_t bytes() const {
+    return static_cast<std::size_t>(u.size() + v.size()) * sizeof(real_t) +
+           static_cast<std::size_t>(u32.size() + v32.size()) *
+               sizeof(la::single_t);
+  }
+
+  /// Round the factors to fp32 storage (no-op when already Fp32).
+  void demote() {
+    if (prec == Precision::Fp32) return;
+    u32 = la::SMatrix(u.rows(), u.cols());
+    la::convert(u.cview(), u32.view());
+    v32 = la::SMatrix(v.rows(), v.cols());
+    la::convert(v.cview(), v32.view());
+    u = la::DMatrix();
+    v = la::DMatrix();
+    prec = Precision::Fp32;
+  }
+
+  /// Widen fp32 factors back to fp64 storage (exact; no-op when Fp64).
+  void promote() {
+    if (prec == Precision::Fp64) return;
+    u = la::DMatrix(u32.rows(), u32.cols());
+    la::convert(u32.cview(), u.view());
+    v = la::DMatrix(v32.rows(), v32.cols());
+    la::convert(v32.cview(), v.view());
+    u32 = la::SMatrix();
+    v32 = la::SMatrix();
+    prec = Precision::Fp64;
   }
 
   /// Materialize into `out` (must be rows() x cols()): out = U·Vᵗ.
+  /// Fp32 factors are promoted into local scratch first — the product is
+  /// always computed in fp64.
   void to_dense(la::DView out) const {
+    if (prec == Precision::Fp32) {
+      la::DMatrix tu(u32.rows(), u32.cols());
+      la::convert(u32.cview(), tu.view());
+      la::DMatrix tv(v32.rows(), v32.cols());
+      la::convert(v32.cview(), tv.view());
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), tu.cview(), tv.cview(),
+               real_t(0), out);
+      return;
+    }
     la::gemm(la::Trans::No, la::Trans::Yes, real_t(1), u.cview(), v.cview(),
              real_t(0), out);
   }
 
-  /// out -= U·Vᵗ (or out -= V·Uᵗ when `transpose`).
+  /// out -= U·Vᵗ (or out -= V·Uᵗ when `transpose`); fp64 arithmetic, with
+  /// fp32 factors promoted into local scratch first.
   void subtract_from(la::DView out, bool transpose = false) const {
+    la::DConstView uu = u.cview();
+    la::DConstView vv = v.cview();
+    la::DMatrix tu, tv;
+    if (prec == Precision::Fp32) {
+      tu.reshape(u32.rows(), u32.cols());
+      la::convert(u32.cview(), tu.view());
+      tv.reshape(v32.rows(), v32.cols());
+      la::convert(v32.cview(), tv.view());
+      uu = tu.cview();
+      vv = tv.cview();
+    }
     if (!transpose) {
-      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), u.cview(), v.cview(),
-               real_t(1), out);
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), uu, vv, real_t(1),
+               out);
     } else {
-      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), v.cview(), u.cview(),
-               real_t(1), out);
+      la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), vv, uu, real_t(1),
+               out);
     }
   }
 };
@@ -227,6 +304,12 @@ public:
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] index_t rank() const { return lowrank_ ? lr_.rank() : index_t(-1); }
 
+  /// Storage precision of this tile. Dense tiles are always Fp64; only
+  /// low-rank factors may be demoted to fp32 at-rest storage.
+  [[nodiscard]] Precision precision() const {
+    return lowrank_ ? lr_.prec : Precision::Fp64;
+  }
+
   [[nodiscard]] la::DMatrix& dense() { return dense_; }
   [[nodiscard]] const la::DMatrix& dense() const { return dense_; }
   [[nodiscard]] LrMatrix& lr() { return lr_; }
@@ -235,11 +318,36 @@ public:
   [[nodiscard]] std::size_t storage_entries() const {
     return lowrank_ ? lr_.entries() : static_cast<std::size_t>(dense_.size());
   }
+  /// Bytes actually stored (precision-aware: fp32 factors cost half).
   [[nodiscard]] std::size_t storage_bytes() const {
-    return storage_entries() * sizeof(real_t);
+    return lowrank_ ? lr_.bytes()
+                    : static_cast<std::size_t>(dense_.size()) * sizeof(real_t);
+  }
+
+  /// Demote the low-rank factors to fp32 at-rest storage (tracker updated).
+  /// Only low-rank tiles may demote: dense and diagonal/pivotal blocks must
+  /// stay fp64, so calling this on a dense tile is a driver logic error.
+  void demote_lowrank() {
+    if (!lowrank_) {
+      throw Error("precision demotion on a dense tile (only low-rank U/V "
+                  "factors may be stored in fp32)");
+    }
+    if (lr_.prec == Precision::Fp32) return;
+    lr_.demote();
+    retrack();
+  }
+
+  /// Widen fp32 at-rest factors back to fp64 in place (tracker updated).
+  /// No-op for dense or already-fp64 tiles.
+  void promote_lowrank() {
+    if (!lowrank_ || lr_.prec == Precision::Fp64) return;
+    lr_.promote();
+    retrack();
   }
 
   /// Replace contents with a low-rank representation (tracker updated).
+  /// The installed factors keep whatever precision `lr` carries — kernels
+  /// always install fp64; re-demotion is the dispatch wrapper's job.
   void set_lowrank(LrMatrix lr) {
     lr_ = std::move(lr);
     dense_ = la::DMatrix();
@@ -322,5 +430,12 @@ private:
   la::DMatrix dense_;
   LrMatrix lr_;
 };
+
+/// Fp64 working copy of a (possibly fp32-at-rest) low-rank tile, tracked
+/// under `cat` (conversion scratch is Workspace by default, so promotion
+/// copies never inflate the Factors accounting). The dispatch layer uses
+/// this to feed fp32 operands to the fp64 kernels without mutating the
+/// source tile, which may be read concurrently by other update tasks.
+Tile promote_copy(const Tile& t, MemCategory cat = MemCategory::Workspace);
 
 } // namespace blr::lr
