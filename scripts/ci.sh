@@ -79,6 +79,18 @@ run_docs() {
   echo "ci[docs]: every SolverOptions field is documented"
 }
 
+# Performance smoke: a Release build of bench_kernels run in --quick mode.
+# The bench itself enforces the floor — packed gemm must not be >10% slower
+# than the old loop nests at n=k=256, and the Batching::PerSupernode
+# end-to-end run must actually form batches — and exits nonzero otherwise.
+run_perfsmoke() {
+  cmake -B build-ci-perfsmoke -S . "${GENERATOR[@]}" \
+        -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci-perfsmoke -j "$JOBS" --target bench_kernels
+  (cd build-ci-perfsmoke && ./bench/bench_kernels --quick)
+  echo "ci[perfsmoke]: packed gemm and batched execution within bounds"
+}
+
 # clang-tidy over the headers introduced by the tile-centric engine. Fails
 # on any warning; skipped (not failed) when clang-tidy is not installed.
 run_tidy() {
@@ -92,7 +104,7 @@ run_tidy() {
       -- -std=c++20 -x c++ -Isrc
 }
 
-STAGES=(docs debug asan ubsan tsan tidy)
+STAGES=(docs debug asan ubsan tsan perfsmoke tidy)
 if [[ $# -gt 0 ]]; then STAGES=("$@"); fi
 for stage in "${STAGES[@]}"; do
   echo "==== ci stage: $stage ===="

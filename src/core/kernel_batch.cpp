@@ -1,0 +1,116 @@
+#include "core/kernel_batch.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace blr::core {
+
+namespace {
+
+std::atomic<std::uint64_t> g_batches{0};
+std::atomic<std::uint64_t> g_entries{0};
+std::atomic<std::uint64_t> g_groups{0};
+std::atomic<std::uint64_t> g_max_batch{0};
+
+void max_batch_update(std::uint64_t n) {
+  std::uint64_t cur = g_max_batch.load(std::memory_order_relaxed);
+  while (cur < n &&
+         !g_max_batch.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+BatchExecStats batch_stats_snapshot() {
+  BatchExecStats s;
+  s.batches = g_batches.load(std::memory_order_relaxed);
+  s.entries = g_entries.load(std::memory_order_relaxed);
+  s.groups = g_groups.load(std::memory_order_relaxed);
+  s.max_batch = g_max_batch.load(std::memory_order_relaxed);
+  s.avg_batch = s.batches > 0
+                    ? static_cast<double>(s.entries) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  return s;
+}
+
+void reset_batch_stats() {
+  g_batches.store(0, std::memory_order_relaxed);
+  g_entries.store(0, std::memory_order_relaxed);
+  g_groups.store(0, std::memory_order_relaxed);
+  g_max_batch.store(0, std::memory_order_relaxed);
+}
+
+KernelCtx& KernelBatch::enqueue(KernelOp op, Rep ra, Prec pa, Rep rb, Prec pb,
+                                Completion done) {
+  Item& it = items_.emplace_back();
+  it.op = op;
+  it.ra = ra;
+  it.pa = pa;
+  it.rb = rb;
+  it.pb = pb;
+  it.done = std::move(done);
+  return it.ctx;
+}
+
+void KernelBatch::execute() {
+  if (items_.empty()) return;
+
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_entries.fetch_add(items_.size(), std::memory_order_relaxed);
+  max_batch_update(items_.size());
+
+  // Same-key groups in first-appearance order. A per-supernode batch holds a
+  // handful of distinct keys at most, so a linear scan beats any map.
+  struct Group {
+    KernelOp op;
+    Rep ra, rb;
+    Prec pa, pb;
+    std::vector<KernelCtx*> items;
+  };
+  std::vector<Group> groups;
+  for (Item& it : items_) {
+    Group* g = nullptr;
+    for (Group& cand : groups) {
+      if (cand.op == it.op && cand.ra == it.ra && cand.pa == it.pa &&
+          cand.rb == it.rb && cand.pb == it.pb) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back({it.op, it.ra, it.rb, it.pa, it.pb, {}});
+      g = &groups.back();
+    }
+    g->items.push_back(&it.ctx);
+  }
+  g_groups.fetch_add(groups.size(), std::memory_order_relaxed);
+
+  // One batched dispatch invocation per group; a kernel exception aborts the
+  // remaining groups and skips every completion (the factorization is
+  // failing — record_failure handles the rest), leaving the batch reusable.
+  try {
+    for (Group& g : groups) {
+      KernelDispatch::instance().run_batch(g.op, g.ra, g.pa, g.rb, g.pb,
+                                           g.items.data(), g.items.size(),
+                                           pool_);
+    }
+  } catch (...) {
+    items_.clear();
+    throw;
+  }
+
+  // Completion phase: sequential, enqueue order — all shared-state mutation
+  // happens here on the calling thread.
+  try {
+    for (Item& it : items_) {
+      if (it.done) it.done(it.ctx);
+    }
+  } catch (...) {
+    items_.clear();
+    throw;
+  }
+  items_.clear();
+}
+
+} // namespace blr::core

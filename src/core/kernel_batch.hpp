@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/kernels_dispatch.hpp"
+
+namespace blr {
+class ThreadPool;
+}
+
+namespace blr::core {
+
+/// Process-wide batch counters since the last reset (avg_batch filled in,
+/// fill_ratio/pack_* left to the caller). BatchExecStats itself lives in
+/// core/stats.hpp beside the dispatch counters it complements.
+BatchExecStats batch_stats_snapshot();
+void reset_batch_stats();
+
+/// Deferred-execution collector behind KernelDispatch: the driver and the
+/// update policies enqueue KernelCtx entries instead of dispatching eagerly,
+/// then execute() groups same-(op, repA, precA, repB, precB) entries and
+/// runs each group as ONE batched dispatch invocation — parallelized across
+/// the batch by the work-stealing pool (one task per shape-bucket chunk, not
+/// per tile). Completions run sequentially in enqueue order afterwards, so
+/// everything that mutates shared engine state (tile state advances,
+/// set_lowrank installs, extend-adds) stays on the calling thread and the
+/// batched schedule is observationally identical to the eager one
+/// (DESIGN.md §11).
+class KernelBatch {
+public:
+  /// Runs after the entry's kernel: installs results / advances tile state.
+  using Completion = std::function<void(KernelCtx&)>;
+
+  /// `pool` may be null (sequential execution of the batch body).
+  explicit KernelBatch(ThreadPool* pool) : pool_(pool) {}
+
+  KernelBatch(const KernelBatch&) = delete;
+  KernelBatch& operator=(const KernelBatch&) = delete;
+
+  /// Defer one kernel call under the given dispatch key. The returned ctx is
+  /// stable until execute() returns (deque-backed) — fill its operand fields
+  /// in place.
+  KernelCtx& enqueue(KernelOp op, Rep ra, Prec pa, Rep rb, Prec pb,
+                     Completion done = {});
+
+  /// Run everything queued: group by key (first-appearance order), dispatch
+  /// each group through KernelDispatch::run_batch, then run completions in
+  /// enqueue order and clear the batch for reuse. Rethrows the first kernel
+  /// exception (completions of the failed batch are skipped). A no-op on an
+  /// empty batch.
+  void execute();
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+private:
+  struct Item {
+    KernelOp op;
+    Rep ra, rb;
+    Prec pa, pb;
+    KernelCtx ctx;
+    Completion done;
+  };
+
+  std::deque<Item> items_;  // deque: stable KernelCtx& across enqueues
+  ThreadPool* pool_;
+};
+
+} // namespace blr::core

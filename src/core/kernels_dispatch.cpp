@@ -1,8 +1,12 @@
 #include "core/kernels_dispatch.hpp"
 
 #include <chrono>
+#include <exception>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/blas.hpp"
 #include "linalg/factorizations.hpp"
 
 namespace blr::core {
@@ -22,6 +26,28 @@ const char* kernel_op_name(KernelOp op) {
 }
 
 namespace {
+
+/// Shape signature of one batch entry: entries with equal signatures cost
+/// about the same and often share operands, so consecutive equal-signature
+/// runs form the shape buckets run_batch chunks on.
+struct ShapeSig {
+  index_t c_r = 0, c_c = 0, a_r = 0, a_c = 0, b_r = 0, b_c = 0;
+  index_t v_r = 0, v_c = 0, i_r = 0, i_c = 0;
+
+  bool operator==(const ShapeSig&) const = default;
+};
+
+ShapeSig shape_of(const KernelCtx& ctx) {
+  ShapeSig s;
+  if (ctx.c != nullptr) { s.c_r = ctx.c->rows(); s.c_c = ctx.c->cols(); }
+  if (ctx.a != nullptr) { s.a_r = ctx.a->rows(); s.a_c = ctx.a->cols(); }
+  if (ctx.b != nullptr) { s.b_r = ctx.b->rows(); s.b_c = ctx.b->cols(); }
+  s.v_r = ctx.view.rows;
+  s.v_c = ctx.view.cols;
+  s.i_r = ctx.in.rows;
+  s.i_c = ctx.in.cols;
+  return s;
+}
 
 std::uint64_t ctx_bytes(const KernelCtx& ctx) {
   std::uint64_t b = 0;
@@ -270,15 +296,103 @@ void KernelDispatch::run(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
   KernelStats::instance().add(e.timer, ns);
 }
 
+void KernelDispatch::run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
+                               KernelCtx* const* items, std::size_t count,
+                               ThreadPool* pool) {
+  if (count == 0) return;
+  Entry& e = at(op, a, pa, b, pb);
+  if (e.fn == nullptr) {
+    throw Error(std::string("no kernel registered for ") + kernel_op_name(op));
+  }
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < count; ++i) bytes += ctx_bytes(*items[i]);
+  e.batched.fetch_add(count, std::memory_order_relaxed);
+  e.batch_invocations.fetch_add(1, std::memory_order_relaxed);
+  e.bytes.fetch_add(bytes, std::memory_order_relaxed);
+
+  // Shape buckets: consecutive equal-shape runs, each further split to at
+  // most `chunk_max` entries so one oversized bucket still spreads across
+  // the pool. One task per chunk — not per tile.
+  struct Chunk {
+    std::size_t begin, end;
+  };
+  std::vector<Chunk> chunks;
+  const std::size_t chunk_max =
+      pool != nullptr
+          ? std::max<std::size_t>(
+                1, (count + 4 * static_cast<std::size_t>(pool->size()) - 1) /
+                       (4 * static_cast<std::size_t>(pool->size())))
+          : count;
+  std::size_t begin = 0;
+  ShapeSig sig = shape_of(*items[0]);
+  for (std::size_t i = 1; i <= count; ++i) {
+    const bool boundary = i == count || !(shape_of(*items[i]) == sig) ||
+                          i - begin >= chunk_max;
+    if (boundary) {
+      chunks.push_back({begin, i});
+      if (i < count) {
+        begin = i;
+        sig = shape_of(*items[i]);
+      }
+    }
+  }
+
+  // First-exception capture: a failing entry cancels the entries that have
+  // not started yet; completed siblings are simply discarded by the caller.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> bad{false};
+  const auto run_chunk = [&](index_t ci) {
+    if (bad.load(std::memory_order_relaxed)) return;
+    // Content reuse in the per-thread pack cache is sound inside one chunk:
+    // batch entries are independent, so nothing mutates their operands
+    // while the chunk runs.
+    la::PackBatchScope pack_scope;
+    const Chunk& ch = chunks[static_cast<std::size_t>(ci)];
+    for (std::size_t i = ch.begin; i < ch.end; ++i) {
+      if (bad.load(std::memory_order_relaxed)) return;
+      try {
+        e.fn(*items[i]);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        bad.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->parallel_for(static_cast<index_t>(chunks.size()), run_chunk);
+  } else {
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci)
+      run_chunk(static_cast<index_t>(ci));
+  }
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  e.nanos.fetch_add(ns, std::memory_order_relaxed);
+  KernelStats::instance().add(e.timer, ns);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 std::vector<DispatchCount> KernelDispatch::snapshot() const {
   std::vector<DispatchCount> out;
   out.reserve(order_.size());
   for (const Entry* e : order_) {
-    const std::uint64_t calls = e->calls.load(std::memory_order_relaxed);
-    if (calls == 0) continue;
+    const std::uint64_t eager = e->calls.load(std::memory_order_relaxed);
+    const std::uint64_t batched = e->batched.load(std::memory_order_relaxed);
+    if (eager + batched == 0) continue;
     DispatchCount d;
     d.kernel = e->name;
-    d.calls = calls;
+    // Total logical calls: a batch of N counts N, so the kernel table is
+    // comparable across batching=Off/PerSupernode.
+    d.calls = eager + batched;
+    d.batched_calls = batched;
+    d.batch_invocations =
+        e->batch_invocations.load(std::memory_order_relaxed);
     d.bytes = e->bytes.load(std::memory_order_relaxed);
     d.seconds =
         static_cast<double>(e->nanos.load(std::memory_order_relaxed)) * 1e-9;
@@ -296,6 +410,8 @@ void KernelDispatch::reset_counters() {
             e.calls.store(0, std::memory_order_relaxed);
             e.bytes.store(0, std::memory_order_relaxed);
             e.nanos.store(0, std::memory_order_relaxed);
+            e.batched.store(0, std::memory_order_relaxed);
+            e.batch_invocations.store(0, std::memory_order_relaxed);
           }
         }
       }

@@ -9,6 +9,10 @@
 #include "core/stats.hpp"
 #include "lowrank/kernels.hpp"
 
+namespace blr {
+class ThreadPool;
+}
+
 namespace blr::core {
 
 /// The numeric operations the factorization driver issues. Each combines
@@ -99,8 +103,22 @@ public:
   /// when no kernel is registered for the key.
   void run(KernelOp op, Rep a, Prec pa, Rep b, Prec pb, KernelCtx& ctx);
 
+  /// Dispatch `count` same-key calls as ONE batched invocation: the entries
+  /// are split into shape-bucket chunks (consecutive equal operand shapes)
+  /// and run in parallel on `pool` (sequentially when null), each chunk
+  /// under a la::PackBatchScope so the packed-gemm pack cache can reuse an
+  /// operand shared across the chunk. Counters record `count` logical calls
+  /// plus one invocation (DispatchCount::batched_calls /
+  /// batch_invocations), so kernel tables stay comparable with eager mode.
+  /// The first kernel exception cancels the remaining entries and is
+  /// rethrown. Entries must be independent: no entry may read another's
+  /// output or alias another's in-out target.
+  void run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
+                 KernelCtx* const* items, std::size_t count, ThreadPool* pool);
+
   /// Per-kernel counters since the last reset, zero-call entries omitted,
-  /// in registration order.
+  /// in registration order. `calls` is the total logical count (eager +
+  /// batched) so Fig. 7 kernel tables compare across batching modes.
   [[nodiscard]] std::vector<DispatchCount> snapshot() const;
   void reset_counters();
 
@@ -114,9 +132,11 @@ private:
     const char* name = nullptr;
     Kernel timer = Kernel::DenseUpdate;
     KernelFn fn = nullptr;
-    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> calls{0};  ///< eager (non-batched) calls
     std::atomic<std::uint64_t> bytes{0};
     std::atomic<std::uint64_t> nanos{0};
+    std::atomic<std::uint64_t> batched{0};            ///< calls run in batches
+    std::atomic<std::uint64_t> batch_invocations{0};  ///< run_batch() calls
   };
 
   static constexpr int kOps = static_cast<int>(KernelOp::kCount);

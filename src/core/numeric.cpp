@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/kernel_stats.hpp"
+#include "core/kernel_batch.hpp"
 #include "core/kernels_dispatch.hpp"
 
 namespace blr::core {
@@ -446,6 +447,10 @@ void NumericFactor::eliminate(index_t k) {
 
 void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
   if (failed_.load(std::memory_order_relaxed)) return;
+  if (opts_.batching == Batching::PerSupernode) {
+    update_range_batched(k, jb, je);
+    return;
+  }
   try {
     const symbolic::Cblk& c = sf_.cblk(k);
     const index_t nb = static_cast<index_t>(c.bloks.size());
@@ -463,6 +468,102 @@ void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
           pool_->submit([this, target] { eliminate(target); },
                         prio[static_cast<std::size_t>(target)]);
         }
+      }
+    }
+  } catch (const NumericalError& e) {
+    record_failure(e.report());
+  } catch (const std::exception& e) {
+    record_failure(make_report(FailureKind::Unknown, k, -1, std::nan(""),
+                               e.what()));
+  }
+}
+
+void NumericFactor::update_range_batched(index_t k, index_t jb, index_t je) {
+  try {
+    const symbolic::Cblk& c = sf_.cblk(k);
+    const index_t nb = static_cast<index_t>(c.bloks.size());
+    CblkData& cd = data_[static_cast<std::size_t>(k)];
+    const auto& prio = sf_.critical_priorities();
+
+    // Phase 1: locate every update of the range and enqueue the contribution
+    // products. The operands are factored tiles of supernode k (immutable
+    // from here on), so the products are independent and free of the target
+    // locks — exactly what run_batch requires. Dense×dense pairs are NOT
+    // pre-batched: they fuse into the target, whose representation can
+    // change under the lock between now and the finish phase.
+    struct Pending {
+      UpdateLoc loc;
+      const lr::Tile* a = nullptr;
+      const lr::Tile* b = nullptr;
+      lr::Tile out;              // product result, harvested by the completion
+      bool batched = false;      // product deferred to the batch
+      bool dense_pair = false;   // fused path, runs in the finish phase
+      bool zero = false;         // rank-0 operand: only the counter drains
+    };
+    // pending must never reallocate: batched entries' completions capture
+    // pointers to their Pending slot. The reserve below is an exact upper
+    // bound on the number of pushes.
+    std::vector<Pending> pending;
+    pending.reserve(static_cast<std::size_t>((je - jb) * nb));
+    KernelBatch batch(pool_);
+    for (index_t j = jb; j < je; ++j) {
+      for (index_t i = llt_ ? j : 0; i < nb; ++i) {
+        if (failed_.load(std::memory_order_relaxed)) return;
+        Pending pd;
+        pd.loc = locate_update(k, i, j);
+        pd.a = &cd.lpanel[static_cast<std::size_t>(i)];
+        pd.b = llt_ ? &cd.lpanel[static_cast<std::size_t>(j)]
+                    : &cd.upanel[static_cast<std::size_t>(j)];
+        if (pd.a->rank() == 0 || pd.b->rank() == 0) {
+          pd.zero = true;
+        } else if (!pd.a->is_lowrank() && !pd.b->is_lowrank()) {
+          pd.dense_pair = true;
+        } else {
+          pd.batched = true;
+        }
+        const bool batched_entry = pd.batched;
+        pending.push_back(std::move(pd));
+        if (batched_entry) {
+          // The KernelCtx (and its `out` tile) dies when execute() clears the
+          // batch, so the completion — which runs before the clear — moves
+          // the product into the Pending slot for the finish phase.
+          Pending* slot = &pending.back();
+          KernelCtx& kc = batch.enqueue(
+              KernelOp::Gemm, rep_of(*slot->a), prec_of(*slot->a),
+              rep_of(*slot->b), prec_of(*slot->b),
+              [slot](KernelCtx& done) { slot->out = std::move(done.out); });
+          kc.a = slot->a;
+          kc.b = slot->b;
+          kc.kind = opts_.kind;
+          kc.tolerance = opts_.tolerance;
+          kc.need_ortho = update_need_ortho(slot->loc);
+          kc.out_cat = MemCategory::Workspace;
+        }
+      }
+    }
+    batch.execute();
+
+    // Phase 2: sequential finish in the eager pair order — every mutation of
+    // shared engine state (extend-adds, LUAR appends, dependency counters)
+    // happens on this thread in exactly the order the eager loop would
+    // produce, which is what makes Off-vs-PerSupernode bit-identical for the
+    // sequential schedule.
+    for (Pending& pd : pending) {
+      if (failed_.load(std::memory_order_relaxed)) return;
+      if (!pd.zero) {
+        if (pd.dense_pair) {
+          dense_dense_update(pd.loc, *pd.a, *pd.b);
+        } else {
+          finish_update(pd.loc, std::move(pd.out));
+        }
+      }
+      const index_t target = pd.loc.tcblk;
+      const index_t left =
+          deps_[static_cast<std::size_t>(target)].fetch_sub(1,
+                                                            std::memory_order_acq_rel) - 1;
+      if (left == 0 && pool_ != nullptr) {
+        pool_->submit([this, target] { eliminate(target); },
+                      prio[static_cast<std::size_t>(target)]);
       }
     }
   } catch (const NumericalError& e) {
@@ -519,35 +620,61 @@ void NumericFactor::factor_panel(index_t k) {
     // the blocks that are (still) dense — e.g. after an extend-add
     // transiently exceeded the storage-beneficial rank — which keeps the
     // final factor size of the scenarios similar, as the paper reports.
+    const bool batched = opts_.batching == Batching::PerSupernode;
     {
+      // Under PerSupernode the policy enqueues its compressions into one
+      // batch per supernode (executed at the panel boundary below) instead
+      // of dispatching them eagerly; the completions install the results in
+      // the same order the eager loop would.
+      KernelBatch compress_batch(pool_);
       const auto hook_panel = [&](std::vector<lr::Tile>& panel) {
         for (std::size_t idx = 0; idx < panel.size(); ++idx) {
           // Early exit at panel granularity once a sibling has failed.
           if (failed_.load(std::memory_order_relaxed)) return;
           policy_->at_elimination(k, panel[idx],
-                                  compressible(k, c.bloks[idx]), pctx_);
+                                  compressible(k, c.bloks[idx]), pctx_,
+                                  batched ? &compress_batch : nullptr);
         }
       };
       hook_panel(cd.lpanel);
       if (!llt_) hook_panel(cd.upanel);
+      compress_batch.execute();
       if (failed_.load(std::memory_order_relaxed)) return;
     }
 
-    for (auto& blk : cd.lpanel) {
-      if (failed_.load(std::memory_order_relaxed)) return;
-      if (blk.rank() != 0) {
-        dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, /*upper=*/false);
-      }
-      blk.advance(lr::TileState::Factored);
-    }
-    if (!llt_) {
-      for (auto& blk : cd.upanel) {
-        if (failed_.load(std::memory_order_relaxed)) return;
-        if (blk.rank() != 0) {
-          dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, /*upper=*/true);
+    {
+      // Panel solves: each TRSM reads the (now immutable) factored diagonal
+      // and mutates only its own tile, so the whole panel batches into one
+      // invocation. L and U tiles share the Trsm dispatch key — the upper
+      // flag travels per-entry in the ctx.
+      KernelBatch trsm_batch(pool_);
+      const auto solve_panel = [&](std::vector<lr::Tile>& panel, bool upper) {
+        for (auto& blk : panel) {
+          if (failed_.load(std::memory_order_relaxed)) return;
+          if (blk.rank() == 0) {
+            blk.advance(lr::TileState::Factored);
+            continue;
+          }
+          if (!batched) {
+            dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, upper);
+            blk.advance(lr::TileState::Factored);
+            continue;
+          }
+          lr::Tile* t = &blk;
+          KernelCtx& kc = trsm_batch.enqueue(
+              KernelOp::Trsm, rep_of(blk), prec_of(blk), Rep::None, Prec::Fp64,
+              [t](KernelCtx&) { t->advance(lr::TileState::Factored); });
+          kc.c = t;
+          kc.diag = &cd.diag.dense();
+          kc.piv = &cd.ipiv;
+          kc.llt = llt_;
+          kc.upper = upper;
         }
-        blk.advance(lr::TileState::Factored);
-      }
+      };
+      solve_panel(cd.lpanel, /*upper=*/false);
+      if (!llt_) solve_panel(cd.upanel, /*upper=*/true);
+      trsm_batch.execute();
+      if (failed_.load(std::memory_order_relaxed)) return;
     }
     // Guard the factored panel: overflow/NaN escaping the diagonal
     // factorization or the triangular solves is caught here instead of
@@ -558,110 +685,109 @@ void NumericFactor::factor_panel(index_t k) {
   }
 }
 
-index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
+UpdateLoc NumericFactor::locate_update(index_t k, index_t bi, index_t bj) const {
   const symbolic::Cblk& c = sf_.cblk(k);
   const symbolic::Blok& rb = c.bloks[static_cast<std::size_t>(bi)];  // rows
   const symbolic::Blok& cb = c.bloks[static_cast<std::size_t>(bj)];  // cols
-  CblkData& cd = data_[static_cast<std::size_t>(k)];
-  const lr::Tile& a = cd.lpanel[static_cast<std::size_t>(bi)];
-  const lr::Tile& b = llt_ ? cd.lpanel[static_cast<std::size_t>(bj)]
-                           : cd.upanel[static_cast<std::size_t>(bj)];
 
   // Locate the target: diagonal block when both intervals live in the same
   // supernode; otherwise the L blok of the earlier cblk (lower triangle) or,
   // mirrored/transposed, the U blok (upper triangle, LU only).
-  bool transpose = false;
-  bool target_diag = false;
-  bool target_upper = false;
-  index_t tcblk, tb_idx = -1, roff, coff;
+  UpdateLoc loc;
+  loc.rh = rb.height();
+  loc.ch = cb.height();
   if (rb.fcblk == cb.fcblk) {
-    tcblk = rb.fcblk;
-    const symbolic::Cblk& tc = sf_.cblk(tcblk);
-    target_diag = true;
-    roff = rb.frow - tc.fcol;
-    coff = cb.frow - tc.fcol;
+    loc.tcblk = rb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(loc.tcblk);
+    loc.target_diag = true;
+    loc.roff = rb.frow - tc.fcol;
+    loc.coff = cb.frow - tc.fcol;
   } else if (rb.fcblk > cb.fcblk) {
-    tcblk = cb.fcblk;
-    const symbolic::Cblk& tc = sf_.cblk(tcblk);
-    tb_idx = sf_.find_blok(tcblk, rb.frow, rb.lrow);
-    roff = rb.frow - tc.bloks[static_cast<std::size_t>(tb_idx)].frow;
-    coff = cb.frow - tc.fcol;
+    loc.tcblk = cb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(loc.tcblk);
+    loc.tb_idx = sf_.find_blok(loc.tcblk, rb.frow, rb.lrow);
+    loc.roff = rb.frow - tc.bloks[static_cast<std::size_t>(loc.tb_idx)].frow;
+    loc.coff = cb.frow - tc.fcol;
   } else {
-    tcblk = rb.fcblk;
-    const symbolic::Cblk& tc = sf_.cblk(tcblk);
-    tb_idx = sf_.find_blok(tcblk, cb.frow, cb.lrow);
-    roff = cb.frow - tc.bloks[static_cast<std::size_t>(tb_idx)].frow;
-    coff = rb.frow - tc.fcol;
-    transpose = true;
-    target_upper = true;
+    loc.tcblk = rb.fcblk;
+    const symbolic::Cblk& tc = sf_.cblk(loc.tcblk);
+    loc.tb_idx = sf_.find_blok(loc.tcblk, cb.frow, cb.lrow);
+    loc.roff = cb.frow - tc.bloks[static_cast<std::size_t>(loc.tb_idx)].frow;
+    loc.coff = rb.frow - tc.fcol;
+    loc.transpose = true;
+    loc.target_upper = true;
   }
+  return loc;
+}
 
-  if (a.rank() == 0 || b.rank() == 0) return tcblk;  // zero contribution
-
-  CblkData& td = data_[static_cast<std::size_t>(tcblk)];
-  std::mutex& lock = locks_[static_cast<std::size_t>(tcblk)];
-
-  if (!a.is_lowrank() && !b.is_lowrank()) {
-    // Dense x dense: fuse the GEMM straight into a dense target; only a
-    // low-rank target needs an explicit contribution.
-    std::lock_guard guard(lock);
-    if (target_diag) {
-      dispatch::gemm_into(
-          td.diag.dense().sub(roff, coff, rb.height(), cb.height()), a, b,
-          /*transpose=*/false);
-      return tcblk;
-    }
-    lr::Tile& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
-                                : td.lpanel[static_cast<std::size_t>(tb_idx)];
-    if (tb.is_lowrank()) {
-      lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance,
-                                     /*need_ortho=*/false);
-      dispatch::extend_add(tb, p, roff, coff, opts_.kind, opts_.tolerance,
-                           transpose);
-      return tcblk;
-    }
-    // roff/coff are already expressed in the target block's coordinates;
-    // only the contribution's dimensions swap under transposition. The
-    // fused kernel subtracts (A·Bᵗ)ᵗ = B·Aᵗ for the transposed mirror.
-    la::DView tview = tb.dense().sub(roff, coff,
-                                     transpose ? cb.height() : rb.height(),
-                                     transpose ? rb.height() : cb.height());
-    dispatch::gemm_into(tview, a, b, transpose);
-    return tcblk;
-  }
-
-  // At least one low-rank operand: form the contribution outside the lock.
+bool NumericFactor::update_need_ortho(const UpdateLoc& loc) const {
   // The orthonormality requirement keys off the target's representation as
   // decided at assembly (immutable, unlike the live tag, so safe to read
   // without the target lock).
   bool target_assembled_lowrank = false;
-  if (!target_diag) {
-    const lr::Tile& tbc = target_upper
-                              ? td.upanel[static_cast<std::size_t>(tb_idx)]
-                              : td.lpanel[static_cast<std::size_t>(tb_idx)];
+  if (!loc.target_diag) {
+    const CblkData& td = data_[static_cast<std::size_t>(loc.tcblk)];
+    const lr::Tile& tbc =
+        loc.target_upper ? td.upanel[static_cast<std::size_t>(loc.tb_idx)]
+                         : td.lpanel[static_cast<std::size_t>(loc.tb_idx)];
     target_assembled_lowrank = tbc.assembled_lowrank();
   }
-  const bool need_ortho = policy_->need_ortho(target_assembled_lowrank);
-  lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance, need_ortho);
-  if (p.is_lowrank() && p.rank() == 0) return tcblk;
+  return policy_->need_ortho(target_assembled_lowrank);
+}
 
-  std::lock_guard guard(lock);
-  if (target_diag) {
-    dispatch::apply_contribution(
-        td.diag.dense().sub(roff, coff, rb.height(), cb.height()), p,
-        /*transpose=*/false);
-    return tcblk;
+void NumericFactor::dense_dense_update(const UpdateLoc& loc, const lr::Tile& a,
+                                       const lr::Tile& b) {
+  // Dense x dense: fuse the GEMM straight into a dense target; only a
+  // low-rank target needs an explicit contribution.
+  CblkData& td = data_[static_cast<std::size_t>(loc.tcblk)];
+  std::lock_guard guard(locks_[static_cast<std::size_t>(loc.tcblk)]);
+  if (loc.target_diag) {
+    dispatch::gemm_into(td.diag.dense().sub(loc.roff, loc.coff, loc.rh, loc.ch),
+                        a, b, /*transpose=*/false);
+    return;
   }
-  lr::Tile& tb = target_upper ? td.upanel[static_cast<std::size_t>(tb_idx)]
-                              : td.lpanel[static_cast<std::size_t>(tb_idx)];
+  lr::Tile& tb = loc.target_upper
+                     ? td.upanel[static_cast<std::size_t>(loc.tb_idx)]
+                     : td.lpanel[static_cast<std::size_t>(loc.tb_idx)];
+  if (tb.is_lowrank()) {
+    lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance,
+                                   /*need_ortho=*/false);
+    dispatch::extend_add(tb, p, loc.roff, loc.coff, opts_.kind, opts_.tolerance,
+                         loc.transpose);
+    return;
+  }
+  // roff/coff are already expressed in the target block's coordinates;
+  // only the contribution's dimensions swap under transposition. The
+  // fused kernel subtracts (A·Bᵗ)ᵗ = B·Aᵗ for the transposed mirror.
+  la::DView tview = tb.dense().sub(loc.roff, loc.coff,
+                                   loc.transpose ? loc.ch : loc.rh,
+                                   loc.transpose ? loc.rh : loc.ch);
+  dispatch::gemm_into(tview, a, b, loc.transpose);
+}
+
+void NumericFactor::finish_update(const UpdateLoc& loc, lr::Tile p) {
+  if (p.is_lowrank() && p.rank() == 0) return;
+
+  CblkData& td = data_[static_cast<std::size_t>(loc.tcblk)];
+  std::lock_guard guard(locks_[static_cast<std::size_t>(loc.tcblk)]);
+  if (loc.target_diag) {
+    dispatch::apply_contribution(
+        td.diag.dense().sub(loc.roff, loc.coff, loc.rh, loc.ch), p,
+        /*transpose=*/false);
+    return;
+  }
+  lr::Tile& tb = loc.target_upper
+                     ? td.upanel[static_cast<std::size_t>(loc.tb_idx)]
+                     : td.lpanel[static_cast<std::size_t>(loc.tb_idx)];
   if (tb.is_lowrank() && opts_.accumulate_updates && p.is_lowrank()) {
     // LUAR accumulation: append the padded contribution factors and defer
     // the (expensive, target-sized) recompression.
     KernelTimer t(Kernel::LrAddition);
-    la::DConstView pu = transpose ? p.lr().v.cview() : p.lr().u.cview();
-    la::DConstView pv = transpose ? p.lr().u.cview() : p.lr().v.cview();
-    lr::Tile& acc =
-        (target_upper ? td.uacc : td.lacc)[static_cast<std::size_t>(tb_idx)];
+    la::DConstView pu = loc.transpose ? p.lr().v.cview() : p.lr().u.cview();
+    la::DConstView pv = loc.transpose ? p.lr().u.cview() : p.lr().v.cview();
+    lr::Tile& acc = (loc.target_upper
+                         ? td.uacc
+                         : td.lacc)[static_cast<std::size_t>(loc.tb_idx)];
     const index_t old_rank = acc.rank();
     la::DMatrix nu(tb.rows(), old_rank + pu.cols);
     la::DMatrix nv(tb.cols(), old_rank + pu.cols);
@@ -671,19 +797,39 @@ index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
     }
     for (index_t j = 0; j < pu.cols; ++j) {
       std::copy_n(pu.col(j), pu.rows,
-                  nu.data() + (old_rank + j) * tb.rows() + roff);
+                  nu.data() + (old_rank + j) * tb.rows() + loc.roff);
       std::copy_n(pv.col(j), pv.rows,
-                  nv.data() + (old_rank + j) * tb.cols() + coff);
+                  nv.data() + (old_rank + j) * tb.cols() + loc.coff);
     }
     acc.set_lowrank(lr::LrMatrix(std::move(nu), std::move(nv)));
     if (acc.rank() >= opts_.accumulate_max_rank) {
-      flush_accumulator(tcblk, target_upper, tb_idx);
+      flush_accumulator(loc.tcblk, loc.target_upper, loc.tb_idx);
     }
   } else {
-    dispatch::extend_add(tb, p, roff, coff, opts_.kind, opts_.tolerance,
-                         transpose);
+    dispatch::extend_add(tb, p, loc.roff, loc.coff, opts_.kind, opts_.tolerance,
+                         loc.transpose);
   }
-  return tcblk;
+}
+
+index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
+  const UpdateLoc loc = locate_update(k, bi, bj);
+  CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const lr::Tile& a = cd.lpanel[static_cast<std::size_t>(bi)];
+  const lr::Tile& b = llt_ ? cd.lpanel[static_cast<std::size_t>(bj)]
+                           : cd.upanel[static_cast<std::size_t>(bj)];
+
+  if (a.rank() == 0 || b.rank() == 0) return loc.tcblk;  // zero contribution
+
+  if (!a.is_lowrank() && !b.is_lowrank()) {
+    dense_dense_update(loc, a, b);
+    return loc.tcblk;
+  }
+
+  // At least one low-rank operand: form the contribution outside the lock.
+  const bool need_ortho = update_need_ortho(loc);
+  lr::Tile p = dispatch::product(a, b, opts_.kind, opts_.tolerance, need_ortho);
+  finish_update(loc, std::move(p));
+  return loc.tcblk;
 }
 
 void NumericFactor::solve_permuted(la::DView x) const {

@@ -38,6 +38,23 @@ struct CblkData {
   bool eliminated = false;
 };
 
+/// Where one right-looking block update (k, bi, bj) lands: the target
+/// supernode/blok, the offsets inside it, the contribution's dimensions, and
+/// the triangle bookkeeping. Pure symbolic geometry — computing it touches no
+/// numeric state, so the batched schedule can locate every update of a range
+/// up front, run the products as one batch, and apply them afterwards.
+struct UpdateLoc {
+  index_t tcblk = -1;   ///< target supernode
+  index_t tb_idx = -1;  ///< target blok index (-1: diagonal block)
+  index_t roff = 0;     ///< row offset inside the target block
+  index_t coff = 0;     ///< column offset inside the target block
+  index_t rh = 0;       ///< contribution rows (row blok height)
+  index_t ch = 0;       ///< contribution cols (col blok height)
+  bool transpose = false;    ///< apply the transposed contribution (U mirror)
+  bool target_diag = false;  ///< lands on the diagonal block
+  bool target_upper = false; ///< lands in the U panel (LU only)
+};
+
 /// One elimination-task execution record (Gantt row) of the factorization.
 /// Covers the supernode's panel factorization plus the updates applied from
 /// the eliminating task itself (panel-split subtasks are not traced: the
@@ -124,12 +141,35 @@ private:
   void eliminate(index_t k);
   /// Apply the right-looking updates of supernode k for column bloks
   /// [jb, je), draining dependency counters and submitting (with their
-  /// critical-path priority) the successors that become ready.
+  /// critical-path priority) the successors that become ready. Routes to
+  /// update_range_batched under Batching::PerSupernode.
   void update_range(index_t k, index_t jb, index_t je);
+  /// Batched variant of update_range (DESIGN.md §11): locate every update of
+  /// the range, enqueue the contribution products into one KernelBatch keyed
+  /// by operand representation/precision, execute the batch (parallel over
+  /// shape-bucket chunks), then apply the results and drain dependency
+  /// counters sequentially in the eager pair order. Dense×dense pairs fuse
+  /// into a target whose representation can change under the lock, so they
+  /// skip the batch and run entirely in the sequential finish phase.
+  void update_range_batched(index_t k, index_t jb, index_t je);
   /// Diagonal factorization + policy elimination hook + panel solves of
-  /// cblk k.
+  /// cblk k. Under Batching::PerSupernode the compressions and the panel
+  /// TRSMs each run as one batch across the panel.
   void factor_panel(index_t k);
   void factorize_left_looking();
+  /// Symbolic geometry of the (bi, bj) update produced by supernode k.
+  [[nodiscard]] UpdateLoc locate_update(index_t k, index_t bi, index_t bj) const;
+  /// Whether the update's contribution product must carry an orthonormal U
+  /// (keys off the target's assembly-time representation — immutable, so
+  /// safe without the target lock).
+  [[nodiscard]] bool update_need_ortho(const UpdateLoc& loc) const;
+  /// Fused dense×dense update: GEMM straight into the (locked) dense target,
+  /// or product + extend-add when the target is low-rank.
+  void dense_dense_update(const UpdateLoc& loc, const lr::Tile& a,
+                          const lr::Tile& b);
+  /// Apply a formed contribution product under the target lock: LR2GE onto
+  /// the diagonal, LUAR accumulation, or extend-add.
+  void finish_update(const UpdateLoc& loc, lr::Tile p);
   /// Apply the (i,j) update produced by supernode k; returns the target cblk.
   index_t apply_update(index_t k, index_t bi, index_t bj);
   /// Merge a pending LUAR accumulator into its block (caller holds the

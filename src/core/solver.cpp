@@ -6,7 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/kernel_batch.hpp"
 #include "core/kernels_dispatch.hpp"
+#include "linalg/blas.hpp"
 #include "sparse/graph.hpp"
 
 namespace blr::core {
@@ -60,6 +62,14 @@ const char* precision_name(TilePrecision p) {
   switch (p) {
     case TilePrecision::Fp64: return "fp64";
     case TilePrecision::MixedTiles: return "mixed-tiles";
+  }
+  return "?";
+}
+
+const char* batching_name(Batching b) {
+  switch (b) {
+    case Batching::Off: return "off";
+    case Batching::PerSupernode: return "per-supernode";
   }
   return "?";
 }
@@ -179,6 +189,8 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     // counters for this attempt.
     MemoryTracker::instance().reset();
     KernelDispatch::instance().reset_counters();
+    reset_batch_stats();
+    la::reset_pack_cache_stats();
     if (pool_) pool_->reset_stats();
 
     Timer timer;
@@ -225,6 +237,20 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.dense_block_fraction = num_->dense_block_fraction();
   stats_.pivots_replaced = num_->pivots_replaced();
   stats_.dispatch = KernelDispatch::instance().snapshot();
+  stats_.batch = batch_stats_snapshot();
+  const la::PackCacheStats pc = la::pack_cache_stats();
+  stats_.batch.pack_hits = pc.hits;
+  stats_.batch.pack_misses = pc.misses;
+  stats_.batch.pack_bytes = pc.bytes;
+  std::uint64_t total_calls = 0, batched_calls = 0;
+  for (const DispatchCount& d : stats_.dispatch) {
+    total_calls += d.calls;
+    batched_calls += d.batched_calls;
+  }
+  stats_.batch.fill_ratio =
+      total_calls > 0 ? static_cast<double>(batched_calls) /
+                            static_cast<double>(total_calls)
+                      : 0.0;
 }
 
 void Solver::solve(const real_t* b, real_t* x) const {
@@ -283,7 +309,8 @@ void Solver::print_summary(std::ostream& os) const {
       opts_.mixed_rank_threshold >= 0) {
     os << " (rank cap " << opts_.mixed_rank_threshold << ")";
   }
-  os << "\n";
+  os << "\n"
+     << "  batching      : " << batching_name(opts_.batching) << "\n";
   if (!analyzed()) {
     os << "  (not analyzed yet)\n";
     return;
@@ -331,8 +358,20 @@ void Solver::print_summary(std::ostream& os) const {
     for (const DispatchCount& d : stats_.dispatch) {
       os << "    " << d.kernel << ": " << d.calls << " calls, "
          << static_cast<double>(d.bytes) / 1e6 << " MB, " << d.seconds
-         << " s\n";
+         << " s";
+      if (d.batched_calls > 0) {
+        os << " (" << d.batched_calls << " batched in "
+           << d.batch_invocations << " invocations)";
+      }
+      os << "\n";
     }
+  }
+  if (stats_.batch.batches > 0) {
+    os << "  batches       : " << stats_.batch.batches << " executed, avg "
+       << stats_.batch.avg_batch << " / max " << stats_.batch.max_batch
+       << " entries, fill " << stats_.batch.fill_ratio << ", pack cache "
+       << stats_.batch.pack_hits << " hits / " << stats_.batch.pack_misses
+       << " misses\n";
   }
   if (stats_.attempts.size() > 1) {
     os << "  recovery      : " << stats_.attempts.size() << " attempts\n";

@@ -103,6 +103,7 @@ private:
 } // namespace blr::core
 
 namespace blr {
+using core::Batching;
 using core::Factorization;
 using core::RefinementOptions;
 using core::RefinementResult;

@@ -14,9 +14,35 @@ namespace blr::core {
 /// factorization, how many operand bytes it touched, and its wall time.
 struct DispatchCount {
   std::string kernel;       ///< e.g. "gemm[lr,ge]", "getrf[ge]"
+  /// Total logical calls, eager + batched: a batch of N counts N here, so
+  /// the kernel table is comparable across batching=Off/PerSupernode.
   std::uint64_t calls = 0;
+  /// Of `calls`, how many ran inside batched invocations (0 under
+  /// batching=Off).
+  std::uint64_t batched_calls = 0;
+  /// Batched dispatch invocations: one per run_batch() group, so
+  /// batched_calls / batch_invocations is this kernel's mean batch size.
+  std::uint64_t batch_invocations = 0;
   std::uint64_t bytes = 0;  ///< operand + destination storage touched
   double seconds = 0;
+};
+
+/// Aggregate batched-execution counters of one factorization run (surfaced
+/// as SolverStats::batch and in the bench JSON; DESIGN.md §11).
+struct BatchExecStats {
+  std::uint64_t batches = 0;     ///< KernelBatch::execute() calls with ≥ 1 entry
+  std::uint64_t entries = 0;     ///< kernel calls routed through batches
+  std::uint64_t groups = 0;      ///< same-key groups dispatched
+  std::uint64_t max_batch = 0;   ///< largest single batch (entries)
+  double avg_batch = 0;          ///< entries / batches (0 when no batches)
+  /// Batched fraction of all logical kernel calls (batched / (batched +
+  /// eager)) over the dispatch table — how much of the run the batching
+  /// layer actually covered.
+  double fill_ratio = 0;
+  // Packed-gemm pack-cache counters (la::pack_cache_stats at capture time).
+  std::uint64_t pack_hits = 0;   ///< packs skipped: operand image reused
+  std::uint64_t pack_misses = 0; ///< operands actually packed
+  std::uint64_t pack_bytes = 0;  ///< bytes held by the per-thread pack buffers
 };
 
 /// Record of one factorization attempt made by Solver::factorize — the
@@ -95,6 +121,10 @@ struct SolverStats {
   /// Per-kernel dispatch counters of the successful factorization attempt
   /// (zero-call kernels omitted).
   std::vector<DispatchCount> dispatch;
+
+  /// Batched-execution counters of the successful attempt (all zero under
+  /// SolverOptions::batching == Batching::Off).
+  BatchExecStats batch;
 
   [[nodiscard]] double compression_ratio() const {
     return factor_entries_final > 0

@@ -1,5 +1,6 @@
 #include "core/update_policy.hpp"
 
+#include "core/kernel_batch.hpp"
 #include "core/kernels_dispatch.hpp"
 
 namespace blr::core {
@@ -29,9 +30,33 @@ lr::Tile UpdatePolicy::assemble(index_t k, la::DMatrix scratch,
 }
 
 void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
-                                  const PolicyContext& ctx) const {
+                                  const PolicyContext& ctx,
+                                  KernelBatch* batch) const {
   if (t.is_lowrank() || !compressible) return;
   if (ctx.compression_site) ctx.compression_site(k);
+  if (batch) {
+    // Defer the compression to the panel's batch boundary. The completion
+    // (run sequentially, in enqueue order) installs the result exactly as
+    // the eager path below does; ctx is captured by value because the
+    // PolicyContext may not outlive execute().
+    KernelCtx& kc = batch->enqueue(
+        KernelOp::Compress, Rep::Dense, Prec::Fp64, Rep::None, Prec::Fp64,
+        [&t, precision = ctx.precision,
+         mixed_rank_threshold = ctx.mixed_rank_threshold](KernelCtx& done) {
+          if (!done.out_lr) return;
+          t.set_lowrank(std::move(*done.out_lr));
+          t.advance(lr::TileState::Compressed);
+          PolicyContext demote_ctx;
+          demote_ctx.precision = precision;
+          demote_ctx.mixed_rank_threshold = mixed_rank_threshold;
+          maybe_demote(t, demote_ctx);
+        });
+    kc.in = t.dense().cview();
+    kc.kind = ctx.kind;
+    kc.tolerance = ctx.tolerance;
+    kc.max_rank = lr::beneficial_rank_limit(t.rows(), t.cols());
+    return;
+  }
   auto lrm = dispatch::compress(ctx.kind, t.dense().cview(), ctx.tolerance,
                                 lr::beneficial_rank_limit(t.rows(), t.cols()));
   if (lrm) {
@@ -48,8 +73,8 @@ class DensePolicy final : public UpdatePolicy {
 public:
   [[nodiscard]] Strategy strategy() const override { return Strategy::Dense; }
   [[nodiscard]] const char* name() const override { return "Dense"; }
-  void at_elimination(index_t, lr::Tile&, bool,
-                      const PolicyContext&) const override {}
+  void at_elimination(index_t, lr::Tile&, bool, const PolicyContext&,
+                      KernelBatch*) const override {}
 };
 
 /// Algorithm 2: assemble dense, compress when the supernode is eliminated.

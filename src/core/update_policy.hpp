@@ -8,6 +8,8 @@
 
 namespace blr::core {
 
+class KernelBatch;
+
 /// Environment a policy decision runs in: the compression configuration plus
 /// the driver's per-site hooks (fault injection counts every compression
 /// attempt, so policies must announce each one before compressing).
@@ -57,9 +59,13 @@ public:
   /// factorization and before the panel solves. Default: attempt to
   /// compress tiles still dense at the storage-beneficial rank limit
   /// (Just-In-Time compression; also Minimal-Memory's re-attempt on blocks
-  /// that fell back to dense during an extend-add).
+  /// that fell back to dense during an extend-add). When `batch` is
+  /// non-null the compression is enqueued into it instead of dispatched
+  /// eagerly — the kernel runs at the driver's batch boundary and the
+  /// result is installed by the batch completion (same math, same order).
   virtual void at_elimination(index_t k, lr::Tile& t, bool compressible,
-                              const PolicyContext& ctx) const;
+                              const PolicyContext& ctx,
+                              KernelBatch* batch = nullptr) const;
 };
 
 /// The policy implementing opts.strategy.

@@ -1,6 +1,8 @@
 #include "linalg/blas.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <new>
 
 namespace blr::la {
 
@@ -71,7 +73,340 @@ void gemm_tt(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
   }
 }
 
+// ---- Packed, register-blocked gemm ---------------------------------------
+//
+// BLIS-style structure: op(A) is packed into MR-row panels and op(B) into
+// NR-column panels (alpha folded in at pack time), then an MR×NR register
+// micro-tile walks the packed panels. K is blocked by kKC (matching the old
+// axpy nest's k-blocking, so the per-element accumulation order is the
+// same), M by kMC to keep the active A block cache-resident; N is left
+// unblocked because BLR tiles are at most a few hundred columns wide. All
+// four transpose cases route through the one packed path — the transpose is
+// absorbed by the packing order, which always reads source columns
+// contiguously.
+
+constexpr index_t kKC = 256;  ///< k-block: packed B panel rows (== old axpy kb)
+constexpr index_t kMC = 128;  ///< m-block: rows of the resident packed A block
+
+template <typename T>
+struct MicroTile;  // MR×NR register block per element type
+template <>
+struct MicroTile<double> {
+  static constexpr index_t MR = 8;  // one AVX-512 lane (two AVX2 lanes)
+  static constexpr index_t NR = 4;
+};
+template <>
+struct MicroTile<float> {
+  static constexpr index_t MR = 16;
+  static constexpr index_t NR = 4;
+};
+
+constexpr index_t round_up(index_t x, index_t step) {
+  return ((x + step - 1) / step) * step;
+}
+
+// ---- Per-thread pack cache -----------------------------------------------
+
+std::atomic<std::uint64_t> g_pack_hits{0};
+std::atomic<std::uint64_t> g_pack_misses{0};
+std::atomic<std::uint64_t> g_pack_bytes{0};
+std::atomic<std::uint64_t> g_scope_counter{0};
+thread_local std::uint64_t t_batch_scope = 0;  // 0: content reuse disabled
+
+/// Identity of a packed operand. A cached image is valid only within the
+/// batch scope that produced it (`scope`), because between scopes the engine
+/// may rewrite a tile through the same pointer.
+struct PackKey {
+  const void* ptr = nullptr;
+  index_t rows = 0, cols = 0, ld = 0;
+  int trans = -1;
+  double scale = 0.0;
+  std::uint64_t scope = 0;
+
+  bool operator==(const PackKey&) const = default;
+};
+
+template <typename T>
+struct PackBuffer {
+  T* data = nullptr;
+  std::size_t cap = 0;
+  PackKey key;
+
+  ~PackBuffer() { release(); }
+
+  void release() {
+    if (data == nullptr) return;
+    g_pack_bytes.fetch_sub(cap * sizeof(T), std::memory_order_relaxed);
+    ::operator delete[](data, std::align_val_t{64});
+    data = nullptr;
+    cap = 0;
+  }
+
+  T* ensure(std::size_t n) {
+    if (n > cap) {
+      const std::size_t grown = std::max(n, cap * 2);
+      release();
+      data = static_cast<T*>(
+          ::operator new[](grown * sizeof(T), std::align_val_t{64}));
+      cap = grown;
+      g_pack_bytes.fetch_add(cap * sizeof(T), std::memory_order_relaxed);
+    }
+    return data;
+  }
+};
+
+template <typename T>
+struct ThreadPackCache {
+  PackBuffer<T> a;
+  PackBuffer<T> b;
+};
+
+template <typename T>
+ThreadPackCache<T>& pack_cache() {
+  thread_local ThreadPackCache<T> cache;
+  return cache;
+}
+
+// ---- Packing -------------------------------------------------------------
+
+/// Pack one mc×kc block of op(A) into MR-row panels: element (r, k) of
+/// panel p lives at p*kc*MR + k*MR + r. Rows past mc are zero-padded so the
+/// microkernel never branches on the row edge.
+template <typename T, index_t MR>
+void pack_block_a(ConstView<T> a, Trans trans, index_t i0, index_t mc,
+                  index_t k0, index_t kc, T* dst) {
+  for (index_t p = 0; p < mc; p += MR) {
+    const index_t mr = std::min(MR, mc - p);
+    if (trans == Trans::No) {
+      for (index_t k = 0; k < kc; ++k) {
+        const T* col = a.col(k0 + k) + i0 + p;
+        index_t r = 0;
+        for (; r < mr; ++r) dst[k * MR + r] = col[r];
+        for (; r < MR; ++r) dst[k * MR + r] = T(0);
+      }
+    } else {
+      // op(A)(i, k) = A(k, i): source column i0+p+r is contiguous over k.
+      if (mr < MR) std::fill(dst, dst + kc * MR, T(0));
+      for (index_t r = 0; r < mr; ++r) {
+        const T* col = a.col(i0 + p + r) + k0;
+        for (index_t k = 0; k < kc; ++k) dst[k * MR + r] = col[k];
+      }
+    }
+    dst += kc * MR;
+  }
+}
+
+/// Pack one kc×n slab of alpha*op(B) into NR-column panels: element (k, c)
+/// of panel q lives at q*kc*NR + k*NR + c, columns past n zero-padded.
+template <typename T, index_t NR>
+void pack_slab_b(ConstView<T> b, Trans trans, T alpha, index_t k0, index_t kc,
+                 index_t n, T* dst) {
+  for (index_t q = 0; q < n; q += NR) {
+    const index_t nr = std::min(NR, n - q);
+    if (trans == Trans::No) {
+      if (nr < NR) std::fill(dst, dst + kc * NR, T(0));
+      for (index_t c = 0; c < nr; ++c) {
+        const T* col = b.col(q + c) + k0;
+        for (index_t k = 0; k < kc; ++k) dst[k * NR + c] = alpha * col[k];
+      }
+    } else {
+      // op(B)(k, j) = B(j, k): source column k0+k is contiguous over j.
+      for (index_t k = 0; k < kc; ++k) {
+        const T* col = b.col(k0 + k) + q;
+        index_t c = 0;
+        for (; c < nr; ++c) dst[k * NR + c] = alpha * col[c];
+        for (; c < NR; ++c) dst[k * NR + c] = T(0);
+      }
+    }
+    dst += kc * NR;
+  }
+}
+
+/// Pack all of op(A) (m×kk), blocked kKC×kMC in the driver's loop order.
+/// Returns the cached image without re-packing on a batch-scope key hit.
+template <typename T>
+const T* pack_a(PackBuffer<T>& buf, ConstView<T> a, Trans trans, index_t m,
+                index_t kk) {
+  constexpr index_t MR = MicroTile<T>::MR;
+  const PackKey want{a.data, a.rows, a.cols, a.ld,
+                     trans == Trans::Yes ? 1 : 0, 1.0, t_batch_scope};
+  if (t_batch_scope != 0 && buf.data != nullptr && buf.key == want) {
+    g_pack_hits.fetch_add(1, std::memory_order_relaxed);
+    return buf.data;
+  }
+  std::size_t rows_rounded = 0;
+  for (index_t ic = 0; ic < m; ic += kMC)
+    rows_rounded += round_up(std::min(kMC, m - ic), MR);
+  T* dst = buf.ensure(rows_rounded * static_cast<std::size_t>(kk));
+  for (index_t pc = 0; pc < kk; pc += kKC) {
+    const index_t kc = std::min(kKC, kk - pc);
+    for (index_t ic = 0; ic < m; ic += kMC) {
+      const index_t mc = std::min(kMC, m - ic);
+      pack_block_a<T, MR>(a, trans, ic, mc, pc, kc, dst);
+      dst += static_cast<std::size_t>(round_up(mc, MR)) * kc;
+    }
+  }
+  buf.key = want;
+  g_pack_misses.fetch_add(1, std::memory_order_relaxed);
+  return buf.data;
+}
+
+/// Pack all of alpha*op(B) (kk×n), k-blocked in the driver's loop order.
+template <typename T>
+const T* pack_b(PackBuffer<T>& buf, ConstView<T> b, Trans trans, T alpha,
+                index_t kk, index_t n) {
+  constexpr index_t NR = MicroTile<T>::NR;
+  const PackKey want{b.data, b.rows, b.cols, b.ld,
+                     trans == Trans::Yes ? 1 : 0, static_cast<double>(alpha),
+                     t_batch_scope};
+  if (t_batch_scope != 0 && buf.data != nullptr && buf.key == want) {
+    g_pack_hits.fetch_add(1, std::memory_order_relaxed);
+    return buf.data;
+  }
+  T* dst = buf.ensure(static_cast<std::size_t>(round_up(n, NR)) * kk);
+  for (index_t pc = 0; pc < kk; pc += kKC) {
+    const index_t kc = std::min(kKC, kk - pc);
+    pack_slab_b<T, NR>(b, trans, alpha, pc, kc, n, dst);
+    dst += static_cast<std::size_t>(kc) * round_up(n, NR);
+  }
+  buf.key = want;
+  g_pack_misses.fetch_add(1, std::memory_order_relaxed);
+  return buf.data;
+}
+
+// ---- Microkernels --------------------------------------------------------
+
+/// Full MR×NR tile: accumulators start from C so splitting k into kKC blocks
+/// adds partial sums to C in the same order as the old k-blocked axpy nest.
+template <typename T, index_t MR, index_t NR>
+void ukr_full(index_t kc, const T* __restrict ap, const T* __restrict bp,
+              T* __restrict cpt, index_t ldc) {
+  T acc[NR][MR];
+  for (index_t j = 0; j < NR; ++j)
+    for (index_t i = 0; i < MR; ++i) acc[j][i] = cpt[j * ldc + i];
+  for (index_t k = 0; k < kc; ++k) {
+    const T* __restrict av = ap + k * MR;
+    const T* __restrict bv = bp + k * NR;
+    for (index_t j = 0; j < NR; ++j) {
+      const T bj = bv[j];
+      for (index_t i = 0; i < MR; ++i) acc[j][i] += av[i] * bj;
+    }
+  }
+  for (index_t j = 0; j < NR; ++j)
+    for (index_t i = 0; i < MR; ++i) cpt[j * ldc + i] = acc[j][i];
+}
+
+/// Edge tile (mr < MR and/or nr < NR): accumulate into a zero tile over the
+/// padded panels, then add the valid part to C.
+template <typename T, index_t MR, index_t NR>
+void ukr_edge(index_t kc, const T* ap, const T* bp, T* cpt, index_t ldc,
+              index_t mr, index_t nr) {
+  T acc[NR][MR] = {};
+  for (index_t k = 0; k < kc; ++k) {
+    const T* av = ap + k * MR;
+    const T* bv = bp + k * NR;
+    for (index_t j = 0; j < NR; ++j) {
+      const T bj = bv[j];
+      for (index_t i = 0; i < MR; ++i) acc[j][i] += av[i] * bj;
+    }
+  }
+  for (index_t j = 0; j < nr; ++j)
+    for (index_t i = 0; i < mr; ++i) cpt[j * ldc + i] += acc[j][i];
+}
+
+/// Blocked driver over the fully packed images: C += packedA · packedB.
+template <typename T>
+void gemm_packed(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+                 ConstView<T> b, MatView<T> c) {
+  constexpr index_t MR = MicroTile<T>::MR;
+  constexpr index_t NR = MicroTile<T>::NR;
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t kk = (trans_a == Trans::No) ? a.cols : a.rows;
+
+  auto& cache = pack_cache<T>();
+  const T* ap = pack_a<T>(cache.a, a, trans_a, m, kk);
+  const T* bp = pack_b<T>(cache.b, b, trans_b, alpha, kk, n);
+
+  const std::size_t n_rounded = round_up(n, NR);
+  std::size_t a_off = 0;
+  std::size_t b_off = 0;
+  for (index_t pc = 0; pc < kk; pc += kKC) {
+    const index_t kc = std::min(kKC, kk - pc);
+    const T* bblock = bp + b_off;
+    for (index_t ic = 0; ic < m; ic += kMC) {
+      const index_t mc = std::min(kMC, m - ic);
+      const T* ablock = ap + a_off;
+      for (index_t j0 = 0; j0 < n; j0 += NR) {
+        const index_t nr = std::min(NR, n - j0);
+        const T* bpanel = bblock + static_cast<std::size_t>(j0 / NR) * kc * NR;
+        for (index_t i0 = 0; i0 < mc; i0 += MR) {
+          const index_t mr = std::min(MR, mc - i0);
+          const T* apanel =
+              ablock + static_cast<std::size_t>(i0 / MR) * kc * MR;
+          T* cpt = c.col(j0) + ic + i0;
+          if (mr == MR && nr == NR)
+            ukr_full<T, MR, NR>(kc, apanel, bpanel, cpt, c.ld);
+          else
+            ukr_edge<T, MR, NR>(kc, apanel, bpanel, cpt, c.ld, mr, nr);
+        }
+      }
+      a_off += static_cast<std::size_t>(round_up(mc, MR)) * kc;
+    }
+    b_off += static_cast<std::size_t>(kc) * n_rounded;
+  }
+}
+
+/// Packing pays for itself once there is enough arithmetic per packed
+/// element; tiny products (thin ranks, small tiles) stay on the loop nests.
+template <typename T>
+bool use_packed(index_t m, index_t n, index_t kk) {
+  return kk >= 4 && static_cast<double>(m) * static_cast<double>(n) *
+                            static_cast<double>(kk) >=
+                        16384.0;
+}
+
 } // namespace
+
+PackCacheStats pack_cache_stats() {
+  PackCacheStats s;
+  s.hits = g_pack_hits.load(std::memory_order_relaxed);
+  s.misses = g_pack_misses.load(std::memory_order_relaxed);
+  s.bytes = g_pack_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_pack_cache_stats() {
+  g_pack_hits.store(0, std::memory_order_relaxed);
+  g_pack_misses.store(0, std::memory_order_relaxed);
+}
+
+PackBatchScope::PackBatchScope() : prev_(t_batch_scope) {
+  t_batch_scope = g_scope_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+PackBatchScope::~PackBatchScope() { t_batch_scope = prev_; }
+
+template <typename T>
+void gemm_unpacked(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+                   ConstView<T> b, T beta, MatView<T> c) {
+  const index_t opa_rows = (trans_a == Trans::No) ? a.rows : a.cols;
+  const index_t opa_cols = (trans_a == Trans::No) ? a.cols : a.rows;
+  const index_t opb_rows = (trans_b == Trans::No) ? b.rows : b.cols;
+  const index_t opb_cols = (trans_b == Trans::No) ? b.cols : b.rows;
+  assert(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows);
+  (void)opa_rows;
+  (void)opb_cols;
+  (void)opb_rows;
+
+  scale_matrix(beta, c);
+  if (alpha == T(0) || opa_cols == 0 || c.empty()) return;
+
+  if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
+  else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
+  else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
+  else gemm_tt(alpha, a, b, c);
+}
 
 template <typename T>
 void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
@@ -88,6 +423,10 @@ void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
   scale_matrix(beta, c);
   if (alpha == T(0) || opa_cols == 0 || c.empty()) return;
 
+  if (use_packed<T>(c.rows, c.cols, opa_cols)) {
+    gemm_packed(trans_a, trans_b, alpha, a, b, c);
+    return;
+  }
   if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
   else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
   else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
@@ -234,6 +573,8 @@ void trsv(Uplo uplo, Trans trans, Diag diag, ConstView<T> a, T* b) {
 // Explicit instantiations.
 #define BLR_INSTANTIATE_BLAS(T)                                                        \
   template void gemm<T>(Trans, Trans, T, ConstView<T>, ConstView<T>, T, MatView<T>);   \
+  template void gemm_unpacked<T>(Trans, Trans, T, ConstView<T>, ConstView<T>, T,       \
+                                 MatView<T>);                                          \
   template void trsm<T>(Side, Uplo, Trans, Diag, T, ConstView<T>, MatView<T>);         \
   template void syrk<T>(Uplo, Trans, T, ConstView<T>, T, MatView<T>);                  \
   template void gemv<T>(Trans, T, ConstView<T>, const T*, T, T*);                      \

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 
 #include "linalg/matrix.hpp"
 
@@ -12,10 +13,56 @@ enum class Uplo { Lower, Upper };
 enum class Diag { NonUnit, Unit };
 
 /// General matrix-matrix multiply: C = alpha * op(A) * op(B) + beta * C.
-/// Sequential, cache-blocked. op(X) is X or Xᵗ according to the flags.
+/// Sequential. op(X) is X or Xᵗ according to the flags. Problems past a
+/// small size threshold run through the packed, register-blocked microkernel
+/// (all four transpose cases); tiny ones fall back to the plain loop nests.
 template <typename T>
 void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
           T beta, MatView<T> c);
+
+/// The pre-packing gemm loop nests (axpy/dot formulations), kept as the
+/// reference implementation for correctness tests and as the perfsmoke
+/// baseline the packed path is measured against.
+template <typename T>
+void gemm_unpacked(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+                   ConstView<T> b, T beta, MatView<T> c);
+
+// ---- Pack-cache instrumentation ------------------------------------------
+//
+// The packed gemm packs op(A) / op(B) into aligned, per-thread buffers. The
+// buffers persist across calls (no per-call allocation), and inside a
+// PackBatchScope a repeated operand (same pointer/shape/transpose/scale) is
+// recognised and not re-packed — the common case being one triangular panel
+// or low-rank factor shared by every entry of a kernel batch. Outside a
+// scope content reuse is disabled, because the engine may mutate a tile
+// between two eager calls through the same pointer.
+
+struct PackCacheStats {
+  std::uint64_t hits = 0;    ///< packs skipped: operand already in the cache
+  std::uint64_t misses = 0;  ///< operands actually packed
+  std::uint64_t bytes = 0;   ///< bytes currently held by all pack buffers
+};
+
+/// Process-wide pack counters (aggregated over every thread's cache).
+PackCacheStats pack_cache_stats();
+void reset_pack_cache_stats();
+
+/// RAII guard enabling pack-cache *content* reuse on this thread for the
+/// duration of one batched kernel invocation. While a scope is active the
+/// batch owns its operands (batch entries are independent and nobody mutates
+/// their inputs), so a matching (pointer, shape, ld, trans, scale) key means
+/// the packed image is still valid. Scopes do not nest meaningfully: the
+/// innermost one wins.
+class PackBatchScope {
+public:
+  PackBatchScope();
+  ~PackBatchScope();
+  PackBatchScope(const PackBatchScope&) = delete;
+  PackBatchScope& operator=(const PackBatchScope&) = delete;
+
+private:
+  std::uint64_t prev_;
+};
 
 /// Triangular solve with multiple right-hand sides:
 ///   Side::Left : op(A) * X = alpha * B,  X overwrites B

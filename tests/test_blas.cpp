@@ -72,6 +72,64 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{Trans::No, Trans::No, 1, 1, 1, 1.0, 0.0},
         GemmCase{Trans::No, Trans::Yes, 16, 16, 0, 1.0, 2.0}));
 
+// Packed-microkernel coverage: k spans multiple KC panels (KC = 256), so the
+// packed path's KC-splitting, its edge micro-tiles, and all four transpose
+// packings are exercised against the naive reference and against the
+// unpacked loop nests.
+TEST(Gemm, PackedPathLargeKAllTransCombos) {
+  Prng rng(29);
+  const index_t m = 45, n = 37, k = 600;  // 2 full KC panels + remainder
+  for (const Trans ta : {Trans::No, Trans::Yes}) {
+    for (const Trans tb : {Trans::No, Trans::Yes}) {
+      DMatrix a(ta == Trans::No ? m : k, ta == Trans::No ? k : m);
+      DMatrix b(tb == Trans::No ? k : n, tb == Trans::No ? n : k);
+      DMatrix c(m, n);
+      random_normal(a.view(), rng);
+      random_normal(b.view(), rng);
+      random_normal(c.view(), rng);
+
+      const DMatrix expected = ref_gemm(op(a, ta), op(b, tb), -1.0, c, 1.0);
+      DMatrix c_unpacked = c;
+      gemm_unpacked(ta, tb, real_t(-1), a.cview(), b.cview(), real_t(1),
+                    c_unpacked.view());
+      gemm(ta, tb, real_t(-1), a.cview(), b.cview(), real_t(1), c.view());
+
+      const real_t scale = 1 + norm_fro(expected.cview());
+      EXPECT_LT(diff_fro(c.cview(), expected.cview()), 1e-10 * scale)
+          << "packed ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes);
+      EXPECT_LT(diff_fro(c_unpacked.cview(), expected.cview()), 1e-10 * scale)
+          << "unpacked ta=" << (ta == Trans::Yes)
+          << " tb=" << (tb == Trans::Yes);
+    }
+  }
+}
+
+// The packed path must honor sub-view strides (ld > rows) on every operand.
+TEST(Gemm, PackedPathStridedViews) {
+  Prng rng(31);
+  const index_t m = 40, n = 24, k = 300;
+  DMatrix abuf(m + 7, k + 3), bbuf(k + 5, n + 2), cbuf(m + 4, n + 6);
+  random_normal(abuf.view(), rng);
+  random_normal(bbuf.view(), rng);
+  random_normal(cbuf.view(), rng);
+  ConstView<real_t> a = abuf.cview().sub(3, 1, m, k);
+  ConstView<real_t> b = bbuf.cview().sub(2, 2, k, n);
+
+  DMatrix c0(m, n);
+  copy<real_t>(cbuf.cview().sub(1, 3, m, n), c0.view());
+  DMatrix a_dense(m, k), b_dense(k, n);
+  copy<real_t>(a, a_dense.view());
+  copy<real_t>(b, b_dense.view());
+  const DMatrix expected = ref_gemm(a_dense, b_dense, 1.0, c0, 1.0);
+
+  MatView<real_t> c = cbuf.view().sub(1, 3, m, n);
+  gemm(Trans::No, Trans::No, real_t(1), a, b, real_t(1), c);
+  DMatrix got(m, n);
+  copy<real_t>(ConstView<real_t>(c), got.view());
+  EXPECT_LT(diff_fro(got.cview(), expected.cview()),
+            1e-10 * (1 + norm_fro(expected.cview())));
+}
+
 TEST(Gemm, BetaZeroIgnoresGarbageC) {
   Prng rng(3);
   DMatrix a(4, 4), b(4, 4), c(4, 4);
