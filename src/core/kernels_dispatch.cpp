@@ -49,6 +49,31 @@ ShapeSig shape_of(const KernelCtx& ctx) {
   return s;
 }
 
+/// Collect the operand base pointers of one batch entry that stay alive and
+/// unmutated until run_batch returns — the buffers the pack cache may treat
+/// as stable for the chunk. Only read-only tile operands qualify: in-out
+/// targets (ctx.c, ctx.view) are mutated by the kernels, and fp32 factors
+/// never reach a gemm directly (the promotion wrappers copy them into
+/// per-call scratch first, which is exactly the recycled-temporary memory
+/// the stable registry exists to exclude).
+void note_stable_operands(const KernelCtx& ctx,
+                          std::vector<const void*>& out) {
+  const auto add_tile = [&out](const lr::Tile* t) {
+    if (t == nullptr) return;
+    if (t->is_lowrank()) {
+      if (t->precision() == lr::Precision::Fp64) {
+        out.push_back(t->lr().u.data());
+        out.push_back(t->lr().v.data());
+      }
+    } else {
+      out.push_back(t->dense().data());
+    }
+  };
+  add_tile(ctx.a);
+  add_tile(ctx.b);
+  if (ctx.in.data != nullptr) out.push_back(ctx.in.data);
+}
+
 std::uint64_t ctx_bytes(const KernelCtx& ctx) {
   std::uint64_t b = 0;
   if (ctx.a != nullptr) b += ctx.a->storage_bytes();
@@ -342,13 +367,23 @@ void KernelDispatch::run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::atomic<bool> bad{false};
-  const auto run_chunk = [&](index_t ci) {
-    if (bad.load(std::memory_order_relaxed)) return;
-    // Content reuse in the per-thread pack cache is sound inside one chunk:
-    // batch entries are independent, so nothing mutates their operands
-    // while the chunk runs.
-    la::PackBatchScope pack_scope;
-    const Chunk& ch = chunks[static_cast<std::size_t>(ci)];
+  // Per-chunk CPU time summed across the pool's threads, so the kernel's
+  // `seconds` column keeps the eager meaning (total time spent inside the
+  // kernel) instead of the wall time of the parallel region.
+  std::atomic<std::uint64_t> batch_ns{0};
+  const auto chunk_body = [&](const Chunk& ch) {
+    // Content reuse in the per-thread pack cache is sound only for operands
+    // the batch owns for the whole chunk — the entries' tile buffers, alive
+    // and unmutated until run_batch returns. Kernel-internal heap
+    // temporaries are deliberately absent from the stable set: the
+    // allocator may recycle a freed temporary at the same address and shape
+    // for the next entry, so a pointer+shape key alone cannot prove a
+    // packed image is current.
+    std::vector<const void*> stable;
+    stable.reserve(4 * (ch.end - ch.begin));
+    for (std::size_t i = ch.begin; i < ch.end; ++i)
+      note_stable_operands(*items[i], stable);
+    la::PackBatchScope pack_scope(stable.data(), stable.size());
     for (std::size_t i = ch.begin; i < ch.end; ++i) {
       if (bad.load(std::memory_order_relaxed)) return;
       try {
@@ -361,18 +396,25 @@ void KernelDispatch::run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
       }
     }
   };
+  const auto run_chunk = [&](index_t ci) {
+    if (bad.load(std::memory_order_relaxed)) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    chunk_body(chunks[static_cast<std::size_t>(ci)]);
+    batch_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+  };
 
-  const auto t0 = std::chrono::steady_clock::now();
   if (pool != nullptr && chunks.size() > 1) {
     pool->parallel_for(static_cast<index_t>(chunks.size()), run_chunk);
   } else {
     for (std::size_t ci = 0; ci < chunks.size(); ++ci)
       run_chunk(static_cast<index_t>(ci));
   }
-  const auto ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
+  const std::uint64_t ns = batch_ns.load(std::memory_order_relaxed);
   e.nanos.fetch_add(ns, std::memory_order_relaxed);
   KernelStats::instance().add(e.timer, ns);
   if (first_error) std::rethrow_exception(first_error);

@@ -106,13 +106,16 @@ public:
   /// Dispatch `count` same-key calls as ONE batched invocation: the entries
   /// are split into shape-bucket chunks (consecutive equal operand shapes)
   /// and run in parallel on `pool` (sequentially when null), each chunk
-  /// under a la::PackBatchScope so the packed-gemm pack cache can reuse an
-  /// operand shared across the chunk. Counters record `count` logical calls
-  /// plus one invocation (DispatchCount::batched_calls /
-  /// batch_invocations), so kernel tables stay comparable with eager mode.
-  /// The first kernel exception cancels the remaining entries and is
-  /// rethrown. Entries must be independent: no entry may read another's
-  /// output or alias another's in-out target.
+  /// under a la::PackBatchScope whose stable set is the chunk's read-only
+  /// tile operands, so the packed-gemm pack cache can reuse an operand
+  /// shared across the chunk (and only those — kernel-internal temporaries
+  /// never hit the cache). Counters record `count` logical calls plus one
+  /// invocation (DispatchCount::batched_calls / batch_invocations), and the
+  /// per-kernel time is the per-chunk CPU time summed across threads — the
+  /// same meaning as the eager per-call accumulation — so kernel tables
+  /// stay comparable with eager mode. The first kernel exception cancels
+  /// the remaining entries and is rethrown. Entries must be independent: no
+  /// entry may read another's output or alias another's in-out target.
   void run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
                  KernelCtx* const* items, std::size_t count, ThreadPool* pool);
 

@@ -42,7 +42,11 @@ struct BatchExecStats {
   // Packed-gemm pack-cache counters (la::pack_cache_stats at capture time).
   std::uint64_t pack_hits = 0;   ///< packs skipped: operand image reused
   std::uint64_t pack_misses = 0; ///< operands actually packed
-  std::uint64_t pack_bytes = 0;  ///< bytes held by the per-thread pack buffers
+  /// Bytes currently held by the per-thread pack buffers. Buffers persist
+  /// across calls but are trimmed back when they exceed a fixed cap at
+  /// batch-scope exit, so this does not grow to the largest operand ever
+  /// packed for the threads' lifetime (see linalg/blas.hpp).
+  std::uint64_t pack_bytes = 0;
 };
 
 /// Record of one factorization attempt made by Solver::factorize — the

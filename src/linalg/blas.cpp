@@ -112,6 +112,20 @@ std::atomic<std::uint64_t> g_pack_misses{0};
 std::atomic<std::uint64_t> g_pack_bytes{0};
 std::atomic<std::uint64_t> g_scope_counter{0};
 thread_local std::uint64_t t_batch_scope = 0;  // 0: content reuse disabled
+thread_local const PackBatchScope* t_active_scope = nullptr;
+
+/// A pack buffer whose byte size exceeds this cap is released when the
+/// outermost PackBatchScope on its thread closes, so a single huge operand
+/// does not pin that much memory on a pool worker for the thread's lifetime.
+constexpr std::size_t kPackRetainBytes = std::size_t(8) << 20;
+
+/// Content reuse is restricted to operands the active scope registered as
+/// stable: a recycled heap temporary can reappear at the same address with
+/// the same shape within one scope, so pointer identity alone proves
+/// nothing for unregistered memory.
+bool pack_stable(const void* p) {
+  return t_active_scope != nullptr && t_active_scope->contains(p);
+}
 
 /// Identity of a packed operand. A cached image is valid only within the
 /// batch scope that produced it (`scope`), because between scopes the engine
@@ -165,6 +179,15 @@ template <typename T>
 ThreadPackCache<T>& pack_cache() {
   thread_local ThreadPackCache<T> cache;
   return cache;
+}
+
+/// Release this thread's buffers that grew past the retention cap. Called
+/// when the outermost batch scope closes — the buffers are idle then.
+template <typename T>
+void trim_pack_cache() {
+  auto& cache = pack_cache<T>();
+  if (cache.a.cap * sizeof(T) > kPackRetainBytes) cache.a.release();
+  if (cache.b.cap * sizeof(T) > kPackRetainBytes) cache.b.release();
 }
 
 // ---- Packing -------------------------------------------------------------
@@ -230,7 +253,8 @@ const T* pack_a(PackBuffer<T>& buf, ConstView<T> a, Trans trans, index_t m,
   constexpr index_t MR = MicroTile<T>::MR;
   const PackKey want{a.data, a.rows, a.cols, a.ld,
                      trans == Trans::Yes ? 1 : 0, 1.0, t_batch_scope};
-  if (t_batch_scope != 0 && buf.data != nullptr && buf.key == want) {
+  if (t_batch_scope != 0 && pack_stable(a.data) && buf.data != nullptr &&
+      buf.key == want) {
     g_pack_hits.fetch_add(1, std::memory_order_relaxed);
     return buf.data;
   }
@@ -259,7 +283,8 @@ const T* pack_b(PackBuffer<T>& buf, ConstView<T> b, Trans trans, T alpha,
   const PackKey want{b.data, b.rows, b.cols, b.ld,
                      trans == Trans::Yes ? 1 : 0, static_cast<double>(alpha),
                      t_batch_scope};
-  if (t_batch_scope != 0 && buf.data != nullptr && buf.key == want) {
+  if (t_batch_scope != 0 && pack_stable(b.data) && buf.data != nullptr &&
+      buf.key == want) {
     g_pack_hits.fetch_add(1, std::memory_order_relaxed);
     return buf.data;
   }
@@ -381,11 +406,28 @@ void reset_pack_cache_stats() {
   g_pack_misses.store(0, std::memory_order_relaxed);
 }
 
-PackBatchScope::PackBatchScope() : prev_(t_batch_scope) {
+PackBatchScope::PackBatchScope(const void* const* stable, std::size_t count)
+    : prev_(t_batch_scope),
+      prev_scope_(t_active_scope),
+      stable_(stable, stable + count) {
+  std::sort(stable_.begin(), stable_.end());
   t_batch_scope = g_scope_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  t_active_scope = this;
 }
 
-PackBatchScope::~PackBatchScope() { t_batch_scope = prev_; }
+PackBatchScope::~PackBatchScope() {
+  t_batch_scope = prev_;
+  t_active_scope = prev_scope_;
+  if (t_batch_scope == 0) {
+    trim_pack_cache<float>();
+    trim_pack_cache<double>();
+  }
+}
+
+bool PackBatchScope::contains(const void* p) const {
+  return p != nullptr &&
+         std::binary_search(stable_.begin(), stable_.end(), p);
+}
 
 template <typename T>
 void gemm_unpacked(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
