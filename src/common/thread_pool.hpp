@@ -76,6 +76,12 @@ public:
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Tasks currently queued or running. 0 after wait_idle() returns — the
+  /// no-task-leak invariant the DAG cancellation tests assert.
+  [[nodiscard]] index_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
   [[nodiscard]] SchedulerKind kind() const { return kind_; }
 

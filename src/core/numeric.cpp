@@ -92,7 +92,11 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
       MemCategory::Workspace,
       (static_cast<std::size_t>(ap_.nnz()) + static_cast<std::size_t>(apt_.nnz())) *
           (sizeof(real_t) + sizeof(index_t)));
-  if (opts_.scheduling == Scheduling::RightLooking) {
+  if (opts_.scheduling == Scheduling::RightLooking &&
+      opts_.dataflow == Dataflow::Barrier) {
+    // The dataflow schedule assembles lazily (one Assemble task per
+    // supernode inside the DAG), so it keeps the permuted input alive until
+    // factorize() finishes instead of assembling everything here.
     assemble_all();
     ap_ = sparse::CscMatrix();
     apt_ = sparse::CscMatrix();
@@ -298,6 +302,11 @@ void NumericFactor::factorize(ThreadPool* pool) {
     return;
   }
 
+  if (opts_.dataflow == Dataflow::Dag) {
+    factorize_dag(pool);
+    return;
+  }
+
   // Dependency counters: one per incoming block update.
   for (auto& d : deps_) d.store(0, std::memory_order_relaxed);
   for (index_t k = 0; k < ncblk; ++k) {
@@ -383,6 +392,256 @@ void NumericFactor::factorize_left_looking() {
     if (opts_.collect_trace) {
       trace_.push_back({k, 0, t0, trace_clock_.elapsed()});
     }
+  }
+}
+
+// ---- dataflow execution (options.dataflow == Dag, DESIGN.md §12) --------
+//
+// The factorization becomes a task DAG over per-tile operations. Task ids
+// are the canonical sequence numbers — the exact order the barrier driver
+// runs the same operations — and applies into one target tile are chained
+// (write-after-write edges) in that order, so every tile sees the same value
+// history under any topological execution order. Consequence: dataflow runs
+// are bit-identical to the sequential barrier run at every thread count.
+
+void NumericFactor::factorize_dag(ThreadPool* pool) {
+  pool_ = pool;
+  dag_ = std::make_unique<TaskGraph>(TaskGraph::build(sf_, llt_));
+  epochs_ = std::make_unique<EpochGate>(dag_->num_addrs());
+  dag_slots_.clear();
+  dag_slots_.resize(dag_->num_updates());
+  dag_stats_ = DagStats{};
+  dag_stats_.tasks = dag_->num_tasks();
+  dag_stats_.edges = dag_->num_edges();
+  dag_stats_.critical_path = dag_->critical_path();
+
+  const auto& prio = sf_.critical_priorities();
+  const TaskGraph::RunStats rs = dag_->execute(
+      pool, [this](std::uint32_t id) { return run_dag_task(id); },
+      [this, &prio](std::uint32_t id) {
+        return prio[static_cast<std::size_t>(dag_->task(id).k)];
+      });
+  dag_stats_.executed = rs.executed;
+  dag_stats_.ready_peak = rs.ready_peak;
+
+  // A failure cancelled the pool (record_failure); make it reusable.
+  if (pool != nullptr) pool->reset_cancel();
+  pool_ = nullptr;
+  dag_slots_.clear();
+  dag_slots_.shrink_to_fit();
+  dag_.reset();
+  epochs_.reset();
+  // The DAG assembles lazily; the permuted input can go only now.
+  ap_ = sparse::CscMatrix();
+  apt_ = sparse::CscMatrix();
+  input_track_ = TrackedAlloc();
+  if (failed_.load()) throw NumericalError(error_, report_);
+}
+
+bool NumericFactor::run_dag_task(std::uint32_t id) {
+  if (failed_.load(std::memory_order_relaxed)) return false;
+  const DagTask& t = dag_->task(id);
+  try {
+    switch (t.kind) {
+      case DagTaskKind::Assemble: dag_assemble(t); break;
+      case DagTaskKind::Factor: dag_factor(t); break;
+      case DagTaskKind::Compress: dag_compress(t); break;
+      case DagTaskKind::Trsm: dag_trsm(t); break;
+      case DagTaskKind::Product: dag_product(t); break;
+      case DagTaskKind::Apply: dag_apply(t); break;
+    }
+  } catch (const NumericalError& e) {
+    record_failure(e.report());
+    return false;
+  } catch (const std::exception& e) {
+    record_failure(make_report(FailureKind::Unknown, t.k, -1, std::nan(""),
+                               e.what()));
+    return false;
+  }
+  return true;
+}
+
+void NumericFactor::dag_assemble(const DagTask& t) {
+  assemble_cblk(t.k);
+  const index_t nb = static_cast<index_t>(sf_.cblk(t.k).bloks.size());
+  epochs_->advance(dag_->diag_addr(t.k), EpochGate::kUnassembled,
+                   EpochGate::kAssembled);
+  for (index_t i = 0; i < nb; ++i) {
+    epochs_->advance(dag_->panel_addr(t.k, false, i), EpochGate::kUnassembled,
+                     EpochGate::kAssembled);
+  }
+  if (!llt_) {
+    for (index_t i = 0; i < nb; ++i) {
+      epochs_->advance(dag_->panel_addr(t.k, true, i), EpochGate::kUnassembled,
+                       EpochGate::kAssembled);
+    }
+  }
+}
+
+void NumericFactor::dag_factor(const DagTask& t) {
+  const index_t k = t.k;
+  CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
+  epochs_->expect(dag_->diag_addr(k), EpochGate::kAssembled);
+
+  if (opts_.fault.kind == FaultInjection::Kind::TinyPivot &&
+      opts_.fault.supernode == k && opts_.fault.try_fire()) {
+    la::DMatrix& dg = cd.diag.dense();
+    for (index_t i = 0; i < dg.rows(); ++i) dg(i, 0) = 0;
+    dg(0, 0) = 0;
+  }
+
+  index_t replaced = 0;
+  const index_t info =
+      dispatch::factor_diag(cd.diag, cd.ipiv, llt_, pivot_cutoff_, replaced);
+  if (replaced > 0)
+    pivots_replaced_.fetch_add(replaced, std::memory_order_relaxed);
+  if (info != 0) {
+    const index_t piv = info - 1;
+    const double mag = std::abs(static_cast<double>(cd.diag.dense()(piv, piv)));
+    std::ostringstream os;
+    os << (llt_ ? "potrf" : "getrf") << " cannot eliminate the pivot";
+    fail(make_report(llt_ ? FailureKind::NonPositivePivot
+                          : FailureKind::ZeroPivot,
+                     k, piv, mag, os.str()));
+  }
+  if (opts_.check_finite && !all_finite(cd.diag)) {
+    std::ostringstream os;
+    os << "non-finite value in diagonal block of supernode " << k
+       << " after panel factorization";
+    fail(make_report(FailureKind::NonFinitePanel, k, -1, std::nan(""),
+                     os.str()));
+  }
+  cd.diag.advance(lr::TileState::Factored);
+  cd.eliminated = true;
+  epochs_->advance(dag_->diag_addr(k), EpochGate::kAssembled,
+                   EpochGate::kFactored);
+  if (opts_.collect_trace) {
+    // One event per supernode, anchored at its diagonal factorization (the
+    // panel's serialization point in the DAG schedule).
+    const double t1 = trace_clock_.elapsed();
+    const int wid = ThreadPool::current_worker();
+    const std::size_t worker = wid >= 0 ? static_cast<std::size_t>(wid) : 0;
+    std::lock_guard lock(trace_mutex_);
+    trace_.push_back({k, worker, t0, t1});
+  }
+}
+
+void NumericFactor::dag_compress(const DagTask& t) {
+  const std::uint64_t addr = dag_->panel_addr(t.k, t.upper, t.bi);
+  epochs_->expect(addr, EpochGate::kAssembled);
+  if (opts_.accumulate_updates) flush_accumulator(t.k, t.upper, t.bi);
+  CblkData& cd = data_[static_cast<std::size_t>(t.k)];
+  lr::Tile& blk =
+      (t.upper ? cd.upanel : cd.lpanel)[static_cast<std::size_t>(t.bi)];
+  const symbolic::Blok& sb = sf_.cblk(t.k).bloks[static_cast<std::size_t>(t.bi)];
+  if (opts_.batching == Batching::PerSupernode) {
+    // Per-task batches are width-1, but the kernels still route through
+    // run_batch so batching counters and the pack cache stay engaged.
+    KernelBatch batch(nullptr);
+    policy_->at_elimination(t.k, blk, compressible(t.k, sb), pctx_, &batch);
+    batch.execute();
+  } else {
+    policy_->at_elimination(t.k, blk, compressible(t.k, sb), pctx_, nullptr);
+  }
+  epochs_->advance(addr, EpochGate::kAssembled, EpochGate::kEliminating);
+}
+
+void NumericFactor::dag_trsm(const DagTask& t) {
+  const std::uint64_t addr = dag_->panel_addr(t.k, t.upper, t.bi);
+  epochs_->expect(dag_->diag_addr(t.k), EpochGate::kFactored);
+  epochs_->expect(addr, EpochGate::kEliminating);
+  CblkData& cd = data_[static_cast<std::size_t>(t.k)];
+  lr::Tile& blk =
+      (t.upper ? cd.upanel : cd.lpanel)[static_cast<std::size_t>(t.bi)];
+  if (blk.rank() == 0) {
+    blk.advance(lr::TileState::Factored);
+  } else if (opts_.batching == Batching::PerSupernode) {
+    KernelBatch batch(nullptr);
+    lr::Tile* bp = &blk;
+    KernelCtx& kc = batch.enqueue(
+        KernelOp::Trsm, rep_of(blk), prec_of(blk), Rep::None, Prec::Fp64,
+        [bp](KernelCtx&) { bp->advance(lr::TileState::Factored); });
+    kc.c = bp;
+    kc.diag = &cd.diag.dense();
+    kc.piv = &cd.ipiv;
+    kc.llt = llt_;
+    kc.upper = t.upper;
+    batch.execute();
+  } else {
+    dispatch::panel_solve(cd.diag, cd.ipiv, blk, llt_, t.upper);
+    blk.advance(lr::TileState::Factored);
+  }
+  if (opts_.check_finite && !all_finite(blk)) {
+    std::ostringstream os;
+    os << "non-finite value in " << (t.upper ? "U panel" : "L panel")
+       << " of supernode " << t.k << " after panel factorization";
+    fail(make_report(FailureKind::NonFinitePanel, t.k, -1, std::nan(""),
+                     os.str()));
+  }
+  epochs_->advance(addr, EpochGate::kEliminating, EpochGate::kFactored);
+}
+
+void NumericFactor::dag_product(const DagTask& t) {
+  CblkData& cd = data_[static_cast<std::size_t>(t.k)];
+  const lr::Tile* a = &cd.lpanel[static_cast<std::size_t>(t.bi)];
+  const lr::Tile* b = llt_ ? &cd.lpanel[static_cast<std::size_t>(t.bj)]
+                           : &cd.upanel[static_cast<std::size_t>(t.bj)];
+  epochs_->expect(dag_->panel_addr(t.k, false, t.bi), EpochGate::kFactored);
+  epochs_->expect(llt_ ? dag_->panel_addr(t.k, false, t.bj)
+                       : dag_->panel_addr(t.k, true, t.bj),
+                  EpochGate::kFactored);
+
+  auto slot = std::make_unique<DagUpdateSlot>();
+  slot->loc = locate_update(t.k, t.bi, t.bj);
+  slot->a = a;
+  slot->b = b;
+  if (a->rank() == 0 || b->rank() == 0) {
+    slot->zero = true;
+  } else if (!a->is_lowrank() && !b->is_lowrank()) {
+    // Dense×dense fuses the GEMM into the target under the lock, so the
+    // whole update defers to the (chained) apply task.
+    slot->dense_pair = true;
+  } else {
+    const bool need_ortho = update_need_ortho(slot->loc);
+    if (opts_.batching == Batching::PerSupernode) {
+      KernelBatch batch(nullptr);
+      DagUpdateSlot* s = slot.get();
+      KernelCtx& kc = batch.enqueue(
+          KernelOp::Gemm, rep_of(*a), prec_of(*a), rep_of(*b), prec_of(*b),
+          [s](KernelCtx& done) { s->prod = std::move(done.out); });
+      kc.a = a;
+      kc.b = b;
+      kc.kind = opts_.kind;
+      kc.tolerance = opts_.tolerance;
+      kc.need_ortho = need_ortho;
+      kc.out_cat = MemCategory::Workspace;
+      batch.execute();
+    } else {
+      slot->prod =
+          dispatch::product(*a, *b, opts_.kind, opts_.tolerance, need_ortho);
+    }
+  }
+  dag_slots_[t.slot] = std::move(slot);
+}
+
+void NumericFactor::dag_apply(const DagTask& t) {
+  std::unique_ptr<DagUpdateSlot> slot =
+      std::move(dag_slots_[t.slot]);
+  if (!slot) throw Error("dag: apply task ran without its product");
+  const UpdateLoc& loc = slot->loc;
+  const std::uint64_t taddr =
+      loc.target_diag ? dag_->diag_addr(loc.tcblk)
+                      : dag_->panel_addr(loc.tcblk, loc.target_upper,
+                                         loc.tb_idx);
+  // Updates may only land on assembled, not-yet-eliminating tiles — the
+  // runtime-checked half of the Tile state contract at DAG granularity.
+  epochs_->expect(taddr, EpochGate::kAssembled);
+  if (slot->zero) return;
+  if (slot->dense_pair) {
+    dense_dense_update(loc, *slot->a, *slot->b);
+  } else {
+    finish_update(loc, std::move(slot->prod));
   }
 }
 

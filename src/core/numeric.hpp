@@ -11,6 +11,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/options.hpp"
+#include "core/task_graph.hpp"
 #include "core/update_policy.hpp"
 #include "lowrank/kernels.hpp"
 #include "sparse/csc.hpp"
@@ -128,6 +129,17 @@ public:
   /// Elimination schedule trace (empty unless options.collect_trace).
   [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
 
+  /// Counters of the dataflow run (all zero unless options.dataflow == Dag
+  /// took the right-looking path).
+  struct DagStats {
+    std::uint64_t tasks = 0;          ///< DAG nodes built
+    std::uint64_t edges = 0;          ///< inferred + explicit dependencies
+    std::uint64_t executed = 0;       ///< task bodies actually run
+    std::uint64_t ready_peak = 0;     ///< max released-but-not-started tasks
+    std::uint64_t critical_path = 0;  ///< longest dependency chain (tasks)
+  };
+  [[nodiscard]] const DagStats& dag_stats() const { return dag_stats_; }
+
   /// Direct block access (tests / benches).
   [[nodiscard]] const CblkData& cblk_data(index_t k) const {
     return data_[static_cast<std::size_t>(k)];
@@ -157,6 +169,18 @@ private:
   /// TRSMs each run as one batch across the panel.
   void factor_panel(index_t k);
   void factorize_left_looking();
+  /// Dataflow execution (options.dataflow == Dag): build the TaskGraph over
+  /// per-tile operations, then run it — sequentially in the canonical
+  /// (barrier) order, or released to the pool as in-degrees reach zero.
+  void factorize_dag(ThreadPool* pool);
+  /// Body of one DAG task; returns false on failure (stops the run).
+  bool run_dag_task(std::uint32_t id);
+  void dag_assemble(const DagTask& t);
+  void dag_factor(const DagTask& t);
+  void dag_compress(const DagTask& t);
+  void dag_trsm(const DagTask& t);
+  void dag_product(const DagTask& t);
+  void dag_apply(const DagTask& t);
   /// Symbolic geometry of the (bi, bj) update produced by supernode k.
   [[nodiscard]] UpdateLoc locate_update(index_t k, index_t bi, index_t bj) const;
   /// Whether the update's contribution product must carry an orthonormal U
@@ -225,6 +249,23 @@ private:
   FailureReport report_;              // first failure, guarded by error_mutex_
   std::mutex error_mutex_;
   std::atomic<index_t> compressions_{0};  // compression-site counter (injection)
+
+  // ---- dataflow (options.dataflow == Dag) state ----------------------
+  /// Product → Apply hand-off: the product task forms the contribution and
+  /// parks it here; the (chained) apply task consumes it. Allocated lazily so
+  /// only in-flight updates hold slot storage.
+  struct DagUpdateSlot {
+    UpdateLoc loc;
+    lr::Tile prod;             ///< formed contribution (non-fused path)
+    const lr::Tile* a = nullptr;
+    const lr::Tile* b = nullptr;
+    bool dense_pair = false;   ///< defer the fused GEMM to the apply task
+    bool zero = false;         ///< rank-0 operand: the apply is a no-op
+  };
+  std::unique_ptr<TaskGraph> dag_;
+  std::unique_ptr<EpochGate> epochs_;
+  std::vector<std::unique_ptr<DagUpdateSlot>> dag_slots_;
+  DagStats dag_stats_;
 };
 
 } // namespace blr::core

@@ -66,6 +66,22 @@ enum class Scheduling {
   LeftLooking,
 };
 
+/// Execution model of the right-looking factorization (DESIGN.md §12).
+/// Barrier is the classic driver: supernode eliminations synchronize at
+/// panel boundaries (factor + compress + TRSM + all updates of one supernode
+/// run as one task). Dag decomposes the factorization into per-tile tasks
+/// (assemble, factor, compress, TRSM, update product, update apply) with
+/// dependencies inferred from read/write sets over (supernode, block) tile
+/// addresses and released to the pool as their in-degree reaches zero — so
+/// the compression of one supernode overlaps the updates of another.
+/// Update-applies into one tile are chained in the barrier's order, which
+/// makes Dag results bit-identical to the sequential Barrier run at every
+/// thread count. Ignored (Barrier behavior) under Scheduling::LeftLooking.
+enum class Dataflow {
+  Barrier,
+  Dag,
+};
+
 /// Deterministic fault-injection hook: forces a specific breakdown so every
 /// failure-handling path (structured reports, cooperative cancellation, the
 /// recovery ladder) is exercisable in tests and under sanitizers. The
@@ -170,6 +186,14 @@ struct SolverOptions {
   /// memory peak (§4.3).
   Scheduling scheduling = Scheduling::RightLooking;
 
+  /// Execution model of the right-looking driver (default Barrier, the
+  /// panel-synchronous loop — bit-identical to the pre-DAG engine). Dag runs
+  /// the factorization as a dependency-driven task graph over per-tile
+  /// operations (DESIGN.md §12): deterministic (bit-identical to the
+  /// sequential Barrier run at any thread count) and overlapping across
+  /// supernodes. Read by the numeric driver; ignored under LeftLooking.
+  Dataflow dataflow = Dataflow::Barrier;
+
   /// Per-tile storage precision (default Fp64). MixedTiles stores the U/V
   /// factors of eligible low-rank tiles in fp32 at rest — roughly halving
   /// Factors bytes on the compressed part — while all arithmetic, dense
@@ -273,5 +297,6 @@ const char* strategy_name(Strategy s);
 const char* kind_name(lr::CompressionKind k);
 const char* precision_name(TilePrecision p);
 const char* batching_name(Batching b);
+const char* dataflow_name(Dataflow d);
 
 } // namespace blr::core

@@ -74,6 +74,14 @@ const char* batching_name(Batching b) {
   return "?";
 }
 
+const char* dataflow_name(Dataflow d) {
+  switch (d) {
+    case Dataflow::Barrier: return "barrier";
+    case Dataflow::Dag: return "dag";
+  }
+  return "?";
+}
+
 const char* recovery_action_name(RecoveryStep::Action a) {
   switch (a) {
     case RecoveryStep::Action::TightenTolerance: return "tighten-tolerance";
@@ -140,6 +148,16 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.attempts.clear();
   stats_.time_factorize = 0;
 
+  const auto capture_dag = [this] {
+    const NumericFactor::DagStats ds =
+        num_ ? num_->dag_stats() : NumericFactor::DagStats{};
+    stats_.dag_tasks = ds.tasks;
+    stats_.dag_edges = ds.edges;
+    stats_.dag_executed = ds.executed;
+    stats_.dag_ready_peak = ds.ready_peak;
+    stats_.dag_critical_path = ds.critical_path;
+  };
+
   const auto capture_scheduler = [this] {
     if (pool_) {
       const ThreadPool::WorkerStats ws = pool_->total_stats();
@@ -205,6 +223,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     } catch (NumericalError& e) {
       rec.seconds = timer.elapsed();
       stats_.time_factorize += rec.seconds;
+      capture_dag();  // counters of the failed (cancelled) DAG run
       num_.reset();
       e.report().attempt = attempt;
       rec.error = e.report().to_string();
@@ -236,6 +255,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.average_rank = num_->average_rank();
   stats_.dense_block_fraction = num_->dense_block_fraction();
   stats_.pivots_replaced = num_->pivots_replaced();
+  capture_dag();
   stats_.dispatch = KernelDispatch::instance().snapshot();
   stats_.batch = batch_stats_snapshot();
   const la::PackCacheStats pc = la::pack_cache_stats();
@@ -310,7 +330,8 @@ void Solver::print_summary(std::ostream& os) const {
     os << " (rank cap " << opts_.mixed_rank_threshold << ")";
   }
   os << "\n"
-     << "  batching      : " << batching_name(opts_.batching) << "\n";
+     << "  batching      : " << batching_name(opts_.batching) << "\n"
+     << "  dataflow      : " << dataflow_name(opts_.dataflow) << "\n";
   if (!analyzed()) {
     os << "  (not analyzed yet)\n";
     return;
@@ -352,6 +373,13 @@ void Solver::print_summary(std::ostream& os) const {
       os << ", " << stats_.scheduler_discarded << " cancelled";
     }
     os << "\n";
+  }
+  if (stats_.dag_tasks > 0) {
+    os << "  task dag      : " << stats_.dag_tasks << " tasks, "
+       << stats_.dag_edges << " edges, critical path "
+       << stats_.dag_critical_path << ", ready peak "
+       << stats_.dag_ready_peak << ", " << stats_.dag_executed
+       << " executed\n";
   }
   if (!stats_.dispatch.empty()) {
     os << "  kernels       :\n";

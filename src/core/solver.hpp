@@ -104,6 +104,7 @@ private:
 
 namespace blr {
 using core::Batching;
+using core::Dataflow;
 using core::Factorization;
 using core::RefinementOptions;
 using core::RefinementResult;

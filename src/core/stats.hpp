@@ -118,6 +118,14 @@ struct SolverStats {
   /// Tasks drained unrun by cooperative cancellation after a breakdown.
   std::uint64_t scheduler_discarded = 0;
 
+  // Task-DAG counters of the last factorize() (all zero under
+  // SolverOptions::dataflow == Dataflow::Barrier; DESIGN.md §12).
+  std::uint64_t dag_tasks = 0;          ///< tasks in the built graph
+  std::uint64_t dag_edges = 0;          ///< inferred + explicit edges (deduped)
+  std::uint64_t dag_executed = 0;       ///< task bodies actually run
+  std::uint64_t dag_ready_peak = 0;     ///< max ready-but-unstarted tasks
+  std::uint64_t dag_critical_path = 0;  ///< longest dependency chain (tasks)
+
   /// Every factorization attempt of the last factorize() call (one entry
   /// for a clean run; one per ladder rung when recovery kicked in).
   std::vector<FactorizeAttempt> attempts;

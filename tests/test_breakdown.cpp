@@ -67,6 +67,7 @@ CscMatrix zero_row_col(const CscMatrix& a, index_t j0) {
 struct Mode {
   int threads;
   SchedulerKind scheduler;
+  core::Dataflow dataflow;
 };
 
 class FaultModeTest : public ::testing::TestWithParam<Mode> {
@@ -75,6 +76,7 @@ protected:
     SolverOptions opts = small_opts();
     opts.threads = GetParam().threads;
     opts.scheduler = GetParam().scheduler;
+    opts.dataflow = GetParam().dataflow;
     return opts;
   }
 };
@@ -166,15 +168,129 @@ TEST_P(FaultModeTest, CompressionFailureIsStructured) {
 
 INSTANTIATE_TEST_SUITE_P(
     Modes, FaultModeTest,
-    ::testing::Values(Mode{1, SchedulerKind::WorkStealing},
-                      Mode{4, SchedulerKind::WorkStealing},
-                      Mode{4, SchedulerKind::SharedQueue}),
+    ::testing::Values(
+        Mode{1, SchedulerKind::WorkStealing, core::Dataflow::Barrier},
+        Mode{4, SchedulerKind::WorkStealing, core::Dataflow::Barrier},
+        Mode{4, SchedulerKind::SharedQueue, core::Dataflow::Barrier},
+        Mode{1, SchedulerKind::WorkStealing, core::Dataflow::Dag},
+        Mode{4, SchedulerKind::WorkStealing, core::Dataflow::Dag},
+        Mode{4, SchedulerKind::SharedQueue, core::Dataflow::Dag}),
     [](const ::testing::TestParamInfo<Mode>& info) {
-      if (info.param.threads == 1) return std::string("Sequential");
-      return info.param.scheduler == SchedulerKind::WorkStealing
-                 ? std::string("ParallelWorkStealing")
-                 : std::string("ParallelSharedQueue");
+      std::string s = info.param.threads == 1 ? "Sequential"
+                      : info.param.scheduler == SchedulerKind::WorkStealing
+                          ? "ParallelWorkStealing"
+                          : "ParallelSharedQueue";
+      if (info.param.dataflow == core::Dataflow::Dag) s += "Dag";
+      return s;
     });
+
+// The structured report of a deterministic (sequential) breakdown must not
+// depend on the execution engine: the dataflow run replays the canonical
+// order, so every field matches the barrier run's report exactly.
+TEST(DagBreakdown, SequentialFaultReportsMatchBarrier) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  const FaultInjection::Kind kinds[] = {FaultInjection::Kind::TinyPivot,
+                                        FaultInjection::Kind::PoisonBlock,
+                                        FaultInjection::Kind::CompressionFail};
+  for (const auto kind : kinds) {
+    FailureReport reports[2];
+    for (const core::Dataflow df :
+         {core::Dataflow::Barrier, core::Dataflow::Dag}) {
+      SolverOptions opts = small_opts();
+      opts.strategy = Strategy::JustInTime;
+      opts.factorization = Factorization::Lu;
+      opts.dataflow = df;
+      opts.fault.kind = kind;
+      if (kind == FaultInjection::Kind::CompressionFail) {
+        opts.fault.index = 2;  // third compression site
+      } else {
+        opts.fault.supernode = 2;
+      }
+      Solver solver(opts);
+      try {
+        solver.factorize(a);
+        FAIL() << "expected NumericalError";
+      } catch (const NumericalError& e) {
+        reports[df == core::Dataflow::Dag] = e.report();
+      }
+      EXPECT_FALSE(solver.factorized());
+    }
+    EXPECT_EQ(reports[0].kind, reports[1].kind);
+    EXPECT_EQ(reports[0].supernode, reports[1].supernode);
+    EXPECT_EQ(reports[0].local_pivot, reports[1].local_pivot);
+    EXPECT_EQ(reports[0].strategy, reports[1].strategy);
+    EXPECT_EQ(reports[0].factorization, reports[1].factorization);
+    EXPECT_EQ(reports[0].detail, reports[1].detail);
+    // Every rendered field but the wall time matches.
+    reports[1].elapsed_seconds = reports[0].elapsed_seconds;
+    EXPECT_EQ(reports[0].to_string(), reports[1].to_string());
+  }
+}
+
+// A mid-DAG breakdown must cancel everything still queued: no task body
+// leaks past ThreadPool::cancel, the pool drains idle, and the very same
+// solver (same pool) factorizes cleanly afterwards.
+TEST(DagBreakdown, BreakdownCancelsOutstandingDagTasks) {
+  const CscMatrix a = sparse::laplacian_3d(12, 12, 12);
+  SolverOptions opts = small_opts();
+  opts.strategy = Strategy::JustInTime;
+  opts.factorization = Factorization::Lu;
+  opts.threads = 4;
+  opts.dataflow = core::Dataflow::Dag;
+  opts.fault.kind = FaultInjection::Kind::TinyPivot;
+  opts.fault.supernode = 0;
+  Solver solver(opts);
+
+  EXPECT_THROW(solver.factorize(a), NumericalError);
+  const SolverStats& st = solver.stats();
+  ASSERT_GT(st.dag_tasks, 0u);
+  // The failing Factor task stops the run: its subtree is never released
+  // (and anything already queued drains discarded), so far fewer bodies ran
+  // than exist. Whether the pool's queue held tasks at cancel time is a
+  // race, so the suppression is asserted on the release layer — some tasks
+  // were never enqueued at all — not on the discard counter.
+  EXPECT_LT(st.dag_executed, st.dag_tasks);
+  EXPECT_LT(st.dag_executed + st.scheduler_discarded, st.dag_tasks);
+
+  // The pool survives: the consumed fault budget lets the same solver
+  // factorize and solve cleanly, with every DAG task running this time.
+  solver.factorize(a);
+  EXPECT_TRUE(solver.factorized());
+  EXPECT_EQ(solver.stats().dag_executed, solver.stats().dag_tasks);
+  EXPECT_EQ(solver.stats().scheduler_discarded, 0u);
+  const auto b = random_rhs(a.rows(), 5);
+  std::vector<real_t> x(b.size());
+  solver.solve(b.data(), x.data());
+  EXPECT_LT(sparse::backward_error(a, x.data(), b.data()), 1e-5);
+}
+
+// The recovery ladder must behave identically when the failing attempt runs
+// as a DAG: same rung sequence, same effective configuration, same result.
+TEST(DagBreakdown, RecoveryLadderMatchesBarrier) {
+  const CscMatrix a = negated(sparse::laplacian_3d(6, 6, 6));
+  std::vector<SolverStats> stats;
+  for (const core::Dataflow df :
+       {core::Dataflow::Barrier, core::Dataflow::Dag}) {
+    SolverOptions opts = small_opts();
+    opts.strategy = Strategy::JustInTime;
+    opts.factorization = Factorization::Llt;
+    opts.dataflow = df;
+    opts.recovery.enabled = true;  // default ladder
+    Solver solver(opts);
+    solver.factorize(a);
+    EXPECT_TRUE(solver.factorized());
+    EXPECT_FALSE(solver.is_llt());
+    stats.push_back(solver.stats());
+  }
+  ASSERT_EQ(stats[0].attempts.size(), stats[1].attempts.size());
+  for (std::size_t i = 0; i < stats[0].attempts.size(); ++i) {
+    EXPECT_EQ(stats[0].attempts[i].action, stats[1].attempts[i].action);
+    EXPECT_EQ(stats[0].attempts[i].strategy, stats[1].attempts[i].strategy);
+    EXPECT_EQ(stats[0].attempts[i].succeeded, stats[1].attempts[i].succeeded);
+    EXPECT_EQ(stats[0].attempts[i].llt, stats[1].attempts[i].llt);
+    EXPECT_EQ(stats[0].attempts[i].tolerance, stats[1].attempts[i].tolerance);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Cooperative cancellation

@@ -243,6 +243,41 @@ TEST(Trace, ParallelTraceCoversEveryCblkOnceWithoutWorkerOverlap) {
   }
 }
 
+// The dataflow engine records its one-event-per-supernode trace from the
+// Factor task; the same coverage and per-worker serialization invariants
+// must hold as under the barrier scheduler.
+TEST(Trace, DagParallelTraceCoversEveryCblkOnceWithoutWorkerOverlap) {
+  const CscMatrix a = sparse::laplacian_3d(8, 8, 8);
+  SolverOptions o = demo_opts(Strategy::JustInTime);
+  o.collect_trace = true;
+  o.threads = 4;
+  o.scheduler = SchedulerKind::WorkStealing;
+  o.dataflow = core::Dataflow::Dag;
+  Solver solver(o);
+  solver.factorize(a);
+  const auto& tr = solver.trace();
+
+  ASSERT_EQ(static_cast<index_t>(tr.size()), solver.stats().num_cblks);
+  std::vector<char> seen(static_cast<std::size_t>(solver.stats().num_cblks), 0);
+  std::map<std::size_t, std::vector<const core::TraceEvent*>> by_worker;
+  for (const auto& e : tr) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_GE(e.end, e.start);
+    EXPECT_LT(e.worker, static_cast<std::size_t>(o.threads));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(e.cblk)]) << "duplicate " << e.cblk;
+    seen[static_cast<std::size_t>(e.cblk)] = 1;
+    by_worker[e.worker].push_back(&e);
+  }
+  for (auto& [worker, events] : by_worker) {
+    std::sort(events.begin(), events.end(),
+              [](const auto* x, const auto* y) { return x->start < y->start; });
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i]->start, events[i - 1]->end)
+          << "worker " << worker << " events overlap";
+    }
+  }
+}
+
 TEST(Trace, DisabledByDefaultAndLeftLookingWorks) {
   const CscMatrix a = sparse::laplacian_2d(10, 10);
   Solver s1(demo_opts(Strategy::Dense));

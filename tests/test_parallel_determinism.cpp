@@ -19,12 +19,14 @@ struct Case {
   Factorization facto;
 };
 
-SolverOptions base_opts(const Case& c, int threads, SchedulerKind kind) {
+SolverOptions base_opts(const Case& c, int threads, SchedulerKind kind,
+                        core::Dataflow dataflow = core::Dataflow::Barrier) {
   SolverOptions o;
   o.strategy = c.strategy;
   o.factorization = c.facto;
   o.threads = threads;
   o.scheduler = kind;
+  o.dataflow = dataflow;
   // Small thresholds so the tiny test grids still produce low-rank blocks
   // and multi-blok panels; tiny split threshold so the panel-split subtask
   // path is exercised even at this scale.
@@ -89,6 +91,38 @@ TEST_P(ParallelDeterminism, MatchesSequentialRun) {
                              << " entries " << entries_par << " vs "
                              << entries_seq;
       }
+    }
+  }
+}
+
+// Dataflow runs are pinned harder than barrier runs: the per-tile write
+// chains make any Dag execution — both scheduler kinds, any thread count —
+// reproduce the sequential barrier result exactly, so the entry counts must
+// be EQUAL for every strategy (not within tolerance) and the residual must
+// match the sequential one to refinement accuracy.
+TEST_P(ParallelDeterminism, DagMatchesBarrierAcrossSchedulers) {
+  const Case c = GetParam();
+  const CscMatrix a = matrix_for(c.facto);
+
+  std::size_t entries_seq = 0;
+  const real_t res_seq =
+      run_once(a, base_opts(c, 1, SchedulerKind::WorkStealing), &entries_seq);
+  ASSERT_LT(res_seq, 1e-6);
+  ASSERT_GT(entries_seq, 0u);
+
+  for (const SchedulerKind kind :
+       {SchedulerKind::WorkStealing, SchedulerKind::SharedQueue}) {
+    for (const int threads : {1, 2, 8}) {
+      std::size_t entries_dag = 0;
+      const real_t res_dag =
+          run_once(a, base_opts(c, threads, kind, core::Dataflow::Dag),
+                   &entries_dag);
+      // Identical factors ⇒ identical rank decisions ⇒ identical storage,
+      // for compressed strategies too.
+      EXPECT_EQ(entries_dag, entries_seq)
+          << scheduler_name(kind) << " threads=" << threads;
+      EXPECT_LT(res_dag, std::max<real_t>(1e-10, 50 * res_seq))
+          << scheduler_name(kind) << " threads=" << threads;
     }
   }
 }
