@@ -1,10 +1,12 @@
-// Example: solving under a memory budget with the Minimal-Memory strategy.
+// Example: resource-governed factorization (DESIGN.md §13).
 //
-// The paper's headline capability (Figure 7): problems whose dense factors
-// exceed the machine's memory become solvable because the factor structure
-// is never allocated densely. This example sweeps a growing family of 3D
-// Laplacians, reports the dense-storage requirement versus the BLR peak,
-// and picks the loosest tolerance that fits a (simulated) budget.
+// The paper's headline capability (Figure 7) is solving problems whose dense
+// factors exceed the machine's memory. This example enforces that for real:
+// SolverOptions::memory_budget_bytes installs a hard budget on the live
+// tracked memory, a breach fails softly with blr::ResourceError (a
+// structured ResourceReport, never the OOM killer), and the resource
+// degradation ladder — fp32 demotion, loosened tolerance, Minimal-Memory —
+// retries under progressively thriftier configurations before giving up.
 
 #include <cstdio>
 
@@ -12,52 +14,81 @@
 
 using namespace blr;
 
+namespace {
+
+SolverOptions demo_opts() {
+  SolverOptions opts;
+  opts.strategy = Strategy::JustInTime;
+  opts.kind = lr::CompressionKind::Rrqr;
+  // Demo-scale problems: shrink the compressibility/split thresholds in
+  // proportion (paper defaults target ~1e6-unknown matrices).
+  opts.compress_min_width = 32;
+  opts.compress_min_height = 16;
+  opts.split.split_threshold = 128;
+  opts.split.split_size = 64;
+  return opts;
+}
+
+void run_governed(const sparse::CscMatrix& a, std::size_t budget_bytes) {
+  SolverOptions opts = demo_opts();
+  opts.memory_budget_bytes = budget_bytes;
+  opts.deadline_ms = 60'000;        // generous wall-clock guard
+  opts.recovery.enabled = true;     // climb the resource ladder on a breach
+
+  Solver solver(opts);
+  try {
+    solver.factorize(a);
+  } catch (const ResourceError& e) {
+    std::printf("  refused: %s\n", e.report().to_string().c_str());
+    return;
+  }
+
+  const SolverStats& st = solver.stats();
+  std::printf("  ok in %zu attempt(s), %d degradation rung(s)\n",
+              st.attempts.size(), st.resource_rungs);
+  std::printf("  final config: %s, tau=%.0e, %s\n",
+              st.attempts.back().strategy.c_str(),
+              st.attempts.back().tolerance,
+              st.attempts.back().precision.c_str());
+  std::printf("  peak %.1f MB of %.1f MB budget (dense would need %.1f MB)\n",
+              static_cast<double>(st.total_peak_bytes) / 1e6,
+              static_cast<double>(budget_bytes) / 1e6,
+              static_cast<double>(st.factor_entries_dense) * 8 / 1e6);
+
+  std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<real_t> x = solver.solve(b);
+  std::printf("  backward error %.1e, deadline margin %.2f s\n",
+              static_cast<double>(sparse::backward_error(a, x.data(), b.data())),
+              st.deadline_margin);
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
-  // Pretend the machine only has this much room for the factors.
-  const double budget_mb = argc > 1 ? std::atof(argv[1]) : 64.0;
-  std::printf("simulated factor-memory budget: %.0f MB\n\n", budget_mb);
-  std::printf("%-8s %10s %12s | %13s | decision\n", "grid", "dofs",
-              "dense (MB)", "BLR peak (MB)");
+  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 20;
+  const auto a = sparse::laplacian_3d(n, n, n);
+  std::printf("3D Laplacian %lld^3 (%lld unknowns)\n\n",
+              static_cast<long long>(n), static_cast<long long>(a.rows()));
 
-  for (index_t n = 16; n <= 32; n += 8) {
-    const auto a = sparse::laplacian_3d(n, n, n);
+  // Calibrate: what does an ungoverned run of the same configuration need?
+  Solver probe(demo_opts());
+  probe.factorize(a);
+  const std::size_t peak = probe.stats().total_peak_bytes;
+  std::printf("ungoverned peak: %.1f MB\n", static_cast<double>(peak) / 1e6);
 
-    // Probe tolerances loosest-first until the peak fits the budget.
-    bool solved = false;
-    for (const real_t tol : {1e-4, 1e-8, 1e-12}) {
-      SolverOptions opts;
-      opts.strategy = Strategy::MinimalMemory;
-      opts.kind = lr::CompressionKind::Rrqr;
-      opts.tolerance = tol;
-      // Demo-scale problems: shrink the compressibility/split thresholds in
-      // proportion (paper defaults target ~1e6-unknown matrices).
-      opts.compress_min_width = 32;
-      opts.compress_min_height = 16;
-      opts.split.split_threshold = 128;
-      opts.split.split_size = 64;
-      Solver solver(opts);
-      solver.factorize(a);
-
-      const double dense_mb =
-          static_cast<double>(solver.stats().factor_entries_dense) * 8 / 1e6;
-      const double peak_mb =
-          static_cast<double>(solver.stats().factors_peak_bytes) / 1e6;
-      if (peak_mb <= budget_mb) {
-        std::vector<real_t> b(static_cast<std::size_t>(a.rows()), 1.0);
-        std::vector<real_t> x = solver.solve(b);
-        std::printf("%3lld^3   %10lld %12.1f | %13.1f | tau=%.0e fits, err %.1e\n",
-                    static_cast<long long>(n), static_cast<long long>(a.rows()),
-                    dense_mb, peak_mb, tol,
-                    static_cast<double>(sparse::backward_error(a, x.data(), b.data())));
-        solved = true;
-        break;
-      }
-      std::printf("%3lld^3   %10lld %12.1f | %13.1f | tau=%.0e exceeds budget\n",
-                  static_cast<long long>(n), static_cast<long long>(a.rows()),
-                  dense_mb, peak_mb, tol);
-    }
-    if (!solved) std::printf("%3lld^3   -- no tolerance fits the budget --\n",
-                             static_cast<long long>(n));
+  // A comfortable budget succeeds on the first attempt; a tight one forces
+  // the ladder to degrade (fp32 / looser tau / Minimal-Memory); an
+  // impossible one is refused with a structured report — the process (and
+  // this loop) carries on either way.
+  struct Case { const char* label; std::size_t bytes; };
+  const Case cases[] = {
+      {"comfortable (2x peak)", peak * 2},
+      {"tight (0.9x peak)", peak - peak / 10},
+      {"impossible (64 KB)", 64 * 1024},
+  };
+  for (const Case& c : cases) {
+    std::printf("\nbudget %s:\n", c.label);
+    run_governed(a, c.bytes);
   }
   return 0;
 }

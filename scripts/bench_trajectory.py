@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Append one perfsmoke run to the tracked BENCH_trajectory.json.
+
+The perfsmoke CI stage overwrites BENCH_kernels.json with the latest numbers,
+which loses history. This script folds each green run into a rolling
+trajectory file — one summarized entry per run, newest last — so performance
+drift across commits is visible from the tree itself.
+
+Usage: scripts/bench_trajectory.py <bench_kernels.json> [<trajectory.json>]
+
+The trajectory entry keeps only the headline numbers (packed-gemm speedups
+per size, batched-dispatch mean speedup) plus the commit and timestamp, so
+the file stays small no matter how many runs accumulate. The newest
+`MAX_RUNS` entries are retained.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+MAX_RUNS = 200
+
+
+def git_head(repo: Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def summarize(report: dict) -> dict:
+    entry = {}
+    packed = report.get("packed_gemm", [])
+    if packed:
+        entry["packed_gemm_speedup"] = {
+            str(row["n"]): row["speedup"] for row in packed if "n" in row
+        }
+    batched = report.get("batched_dispatch", [])
+    speedups = [row["speedup"] for row in batched if "speedup" in row]
+    if speedups:
+        entry["batched_mean_speedup"] = round(
+            sum(speedups) / len(speedups), 4
+        )
+        entry["batched_min_speedup"] = round(min(speedups), 4)
+    return entry
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    repo = Path(__file__).resolve().parent.parent
+    traj_path = Path(argv[2]) if len(argv) > 2 else repo / "BENCH_trajectory.json"
+
+    report = json.loads(report_path.read_text())
+    runs = []
+    if traj_path.exists():
+        try:
+            runs = json.loads(traj_path.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            print(f"bench_trajectory: {traj_path} unreadable, restarting",
+                  file=sys.stderr)
+            runs = []
+
+    entry = summarize(report)
+    entry["commit"] = git_head(repo)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    runs.append(entry)
+    runs = runs[-MAX_RUNS:]
+
+    traj_path.write_text(
+        json.dumps({"runs": runs}, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"bench_trajectory: appended run {len(runs)} -> {traj_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,9 +16,10 @@ command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
 JOBS="$(nproc)"
 
 # stage name -> BLR_SANITIZE value and ctest selection. Sanitized builds run
-# label subsets: ASan/UBSan take the whole suite; TSan (the slowest) takes
-# the concurrency-sensitive suites — the engine + fault labels and the
-# scheduler/determinism tests written for it.
+# label subsets: ASan/UBSan take the whole suite (including the `resource`
+# label, whose soft-failure paths are exactly where leaks would hide); TSan
+# (the slowest) takes the concurrency-sensitive suites — the engine + fault +
+# dag + resource labels and the scheduler/determinism tests written for it.
 configure_and_build() { # <dir> <sanitize> [extra cmake args...]
   local dir="$1" sanitize="$2"
   shift 2
@@ -46,7 +47,7 @@ run_ubsan() {
 run_tsan() {
   configure_and_build build-ci-tsan thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -L 'engine|fault|dag'
+        -L 'engine|fault|dag|resource'
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
         -R 'thread_pool|ParallelDeterminism|Trace'
 }
@@ -84,13 +85,15 @@ run_docs() {
 # than the old loop nests at n=k=256, and the Batching::PerSupernode
 # end-to-end run must actually form batches — and exits nonzero otherwise.
 # The JSON report is copied over the committed BENCH_kernels.json so the
-# last green perfsmoke numbers travel with the tree.
+# last green perfsmoke numbers travel with the tree, and summarized into the
+# rolling BENCH_trajectory.json so drift across commits stays visible.
 run_perfsmoke() {
   cmake -B build-ci-perfsmoke -S . "${GENERATOR[@]}" \
         -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci-perfsmoke -j "$JOBS" --target bench_kernels
   (cd build-ci-perfsmoke && ./bench/bench_kernels --quick)
   cp build-ci-perfsmoke/bench_kernels.json BENCH_kernels.json
+  python3 scripts/bench_trajectory.py BENCH_kernels.json
   echo "ci[perfsmoke]: packed gemm and batched execution within bounds"
 }
 

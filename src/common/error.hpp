@@ -1,11 +1,14 @@
 #pragma once
 
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <sstream>
 #include <utility>
 
+#include "common/memory_tracker.hpp"
 #include "common/types.hpp"
 
 namespace blr {
@@ -66,6 +69,56 @@ private:
   FailureReport report_;
 };
 
+/// Machine-readable classification of a resource-limit breach.
+enum class ResourceKind {
+  MemoryBudget,  ///< a tracked allocation would exceed SolverOptions::memory_budget_bytes
+  Deadline,      ///< the factorization ran past SolverOptions::deadline_ms
+};
+
+const char* resource_kind_name(ResourceKind k);
+
+/// Structured description of a resource-limit breach, carried by
+/// ResourceError: the FailureReport analogue for the governed-run contract
+/// ("fail the request, never the process"). Built at the breach site (the
+/// MemoryTracker for budget breaches, the ResourceGovernor for deadlines)
+/// and enriched by the catcher (requesting supernode, attempt index).
+struct ResourceReport {
+  ResourceKind kind = ResourceKind::MemoryBudget;
+  std::size_t budget_bytes = 0;     ///< active memory budget (0: none)
+  std::size_t requested_bytes = 0;  ///< size of the breaching request (0: n/a)
+  /// Category of the breaching allocation (MemoryBudget only).
+  MemCategory category = MemCategory::Other;
+  /// Live bytes per MemCategory at the moment of the breach.
+  std::array<std::size_t, static_cast<std::size_t>(MemCategory::kCount)>
+      live_bytes{};
+  std::size_t peak_bytes = 0;  ///< total high-water mark at the breach
+  index_t supernode = -1;      ///< requesting supernode (-1: not tied to one)
+  double deadline_seconds = 0; ///< active deadline (0: none)
+  double elapsed_seconds = 0;  ///< time into the factorization at the breach
+  int attempt = 0;             ///< recovery-ladder attempt index (0 = first try)
+  bool injected = false;       ///< raised by FaultInjection, not a real limit
+  std::string detail;          ///< free-form context from the breach site
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown when the factorization hits a configured resource limit (memory
+/// budget, wall-clock deadline) or a fault-injected stand-in for one.
+/// Distinct from NumericalError: the matrix is fine, the machine ran out —
+/// Solver::factorize climbs the *resource* recovery ladder for these.
+class ResourceError : public Error {
+public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+  ResourceError(const std::string& what, ResourceReport report)
+      : Error(what), report_(std::move(report)) {}
+
+  [[nodiscard]] const ResourceReport& report() const { return report_; }
+  [[nodiscard]] ResourceReport& report() { return report_; }
+
+private:
+  ResourceReport report_;
+};
+
 inline const char* failure_kind_name(FailureKind k) {
   switch (k) {
     case FailureKind::Unknown: return "unknown";
@@ -87,6 +140,38 @@ inline std::string FailureReport::to_string() const {
   if (!std::isnan(pivot_magnitude)) os << " (|pivot| = " << pivot_magnitude << ")";
   os << "; " << factorization << " " << strategy << "/" << compression
      << ", tau = " << tolerance << ", attempt " << attempt << ", after "
+     << elapsed_seconds << " s";
+  if (!detail.empty()) os << "; " << detail;
+  return os.str();
+}
+
+inline const char* resource_kind_name(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::MemoryBudget: return "memory-budget";
+    case ResourceKind::Deadline: return "deadline";
+  }
+  return "?";
+}
+
+inline std::string ResourceReport::to_string() const {
+  std::ostringstream os;
+  os << "resource limit [" << resource_kind_name(kind) << "]";
+  if (injected) os << " (injected)";
+  if (supernode >= 0) os << " at supernode " << supernode;
+  if (kind == ResourceKind::MemoryBudget) {
+    os << ": request of " << requested_bytes << " B ("
+       << MemoryTracker::category_name(category) << ") over budget "
+       << budget_bytes << " B";
+  } else {
+    os << ": elapsed " << elapsed_seconds << " s exceeds deadline "
+       << deadline_seconds << " s";
+  }
+  os << "; live";
+  for (std::size_t c = 0; c < live_bytes.size(); ++c) {
+    os << " " << MemoryTracker::category_name(static_cast<MemCategory>(c))
+       << "=" << live_bytes[c];
+  }
+  os << " B, peak " << peak_bytes << " B, attempt " << attempt << ", after "
      << elapsed_seconds << " s";
   if (!detail.empty()) os << "; " << detail;
   return os.str();

@@ -1,5 +1,7 @@
 #include "common/memory_tracker.hpp"
 
+#include "common/error.hpp"
+
 namespace blr {
 
 MemoryTracker& MemoryTracker::instance() {
@@ -7,14 +9,52 @@ MemoryTracker& MemoryTracker::instance() {
   return tracker;
 }
 
+void MemoryTracker::throw_breach(MemCategory cat, std::size_t bytes,
+                                 std::size_t limit, bool injected) const {
+  ResourceReport r;
+  r.kind = ResourceKind::MemoryBudget;
+  r.budget_bytes = limit;
+  r.requested_bytes = bytes;
+  r.category = cat;
+  for (int c = 0; c < kN; ++c) {
+    r.live_bytes[static_cast<std::size_t>(c)] =
+        current_[c].load(std::memory_order_relaxed);
+  }
+  r.peak_bytes = total_peak_.load(std::memory_order_relaxed);
+  r.injected = injected;
+  if (injected) r.detail = "armed allocation fail point";
+  throw ResourceError(r.to_string(), std::move(r));
+}
+
 void MemoryTracker::allocate(MemCategory cat, std::size_t bytes) {
   const int c = static_cast<int>(cat);
+  // Reserve against the total first: a breach rolls the reservation back
+  // *before* any peak update, so the recorded high-water mark never exceeds
+  // the budget. Two racing requests may both observe the transient sum and
+  // both fail although one alone would fit — conservative by design: the
+  // budget is a hard ceiling, not a fairness contract.
+  const std::size_t tot = total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const std::size_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget > 0 && tot > budget) {
+    total_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw_breach(cat, bytes, budget, /*injected=*/false);
+  }
+  std::size_t fail_at = fail_at_.load(std::memory_order_relaxed);
+  if (fail_at > 0 && tot >= fail_at) {
+    const int filter = fail_at_cat_.load(std::memory_order_relaxed);
+    // One-shot: the CAS consumes the fail point, so exactly one allocation
+    // fires it even under concurrent crossings.
+    if ((filter < 0 || filter == c) &&
+        fail_at_.compare_exchange_strong(fail_at, 0, std::memory_order_relaxed)) {
+      total_.fetch_sub(bytes, std::memory_order_relaxed);
+      throw_breach(cat, bytes, fail_at, /*injected=*/true);
+    }
+  }
   const std::size_t now = current_[c].fetch_add(bytes, std::memory_order_relaxed) + bytes;
   std::size_t expected = peak_[c].load(std::memory_order_relaxed);
   while (now > expected &&
          !peak_[c].compare_exchange_weak(expected, now, std::memory_order_relaxed)) {
   }
-  const std::size_t tot = total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   std::size_t texp = total_peak_.load(std::memory_order_relaxed);
   while (tot > texp &&
          !total_peak_.compare_exchange_weak(texp, tot, std::memory_order_relaxed)) {
@@ -47,6 +87,9 @@ void MemoryTracker::reset() {
   for (auto& p : peak_) p.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
   total_peak_.store(0, std::memory_order_relaxed);
+  budget_.store(0, std::memory_order_relaxed);
+  fail_at_.store(0, std::memory_order_relaxed);
+  fail_at_cat_.store(-1, std::memory_order_relaxed);
 }
 
 std::string MemoryTracker::category_name(MemCategory cat) {

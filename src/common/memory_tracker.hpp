@@ -22,12 +22,41 @@ enum class MemCategory : int {
 /// The solver registers every allocation/release of numeric storage here;
 /// tests assert e.g. that the Minimal-Memory strategy never reaches the
 /// dense factor footprint.
+///
+/// With a budget installed (set_budget), allocate() *fails softly*: a request
+/// that would push the live total past the budget is rolled back before any
+/// peak update — so the recorded high-water mark can never exceed the budget
+/// — and throws blr::ResourceError carrying a structured ResourceReport
+/// instead of letting the process run into the OOM killer. set_fail_at()
+/// plants a one-shot injected failure for deterministic testing of every
+/// budget-handling path (FaultInjection::Kind::AllocFail).
 class MemoryTracker {
 public:
   static MemoryTracker& instance();
 
+  /// Register `bytes` of live storage under `cat`. Throws blr::ResourceError
+  /// (leaving every counter unchanged) when the new live total would exceed
+  /// the installed budget, or when it crosses an armed fail point.
   void allocate(MemCategory cat, std::size_t bytes);
   void release(MemCategory cat, std::size_t bytes);
+
+  /// Install a hard budget on the live total (0 = unlimited, the default).
+  /// Cleared by reset().
+  void set_budget(std::size_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm a one-shot injected allocation failure: the first allocate() that
+  /// brings the live total to `bytes` or beyond — restricted to category
+  /// `cat` unless it is negative — throws a ResourceError marked `injected`.
+  /// Consumed by firing; cleared by reset() or bytes = 0.
+  void set_fail_at(std::size_t bytes, int cat = -1) {
+    fail_at_cat_.store(cat, std::memory_order_relaxed);
+    fail_at_.store(bytes, std::memory_order_relaxed);
+  }
 
   /// Current live bytes in one category.
   [[nodiscard]] std::size_t current(MemCategory cat) const;
@@ -46,10 +75,18 @@ private:
   MemoryTracker() = default;
 
   static constexpr int kN = static_cast<int>(MemCategory::kCount);
+  /// Build the report and throw; out of line so this header stays free of
+  /// the error-header dependency (error.hpp includes this file).
+  [[noreturn]] void throw_breach(MemCategory cat, std::size_t bytes,
+                                 std::size_t limit, bool injected) const;
+
   std::array<std::atomic<std::size_t>, kN> current_{};
   std::array<std::atomic<std::size_t>, kN> peak_{};
   std::atomic<std::size_t> total_{0};
   std::atomic<std::size_t> total_peak_{0};
+  std::atomic<std::size_t> budget_{0};       ///< live-total cap (0: none)
+  std::atomic<std::size_t> fail_at_{0};      ///< one-shot injected fail point
+  std::atomic<int> fail_at_cat_{-1};         ///< category filter (-1: any)
 };
 
 /// RAII registration of a block of tracked memory.

@@ -1,0 +1,22 @@
+#include "common/resource_governor.hpp"
+
+namespace blr {
+
+ResourceReport ResourceGovernor::deadline_report(index_t supernode) const {
+  ResourceReport r;
+  r.kind = ResourceKind::Deadline;
+  r.budget_bytes = budget_;
+  r.supernode = supernode;
+  r.deadline_seconds = deadline_s_;
+  r.elapsed_seconds = elapsed_seconds();
+  r.injected = skew_.load(std::memory_order_relaxed) > 0;
+  const MemoryTracker& t = MemoryTracker::instance();
+  for (std::size_t c = 0; c < r.live_bytes.size(); ++c) {
+    r.live_bytes[c] = t.current(static_cast<MemCategory>(c));
+  }
+  r.peak_bytes = t.peak_total();
+  if (r.injected) r.detail = "clock skew injected";
+  return r;
+}
+
+} // namespace blr

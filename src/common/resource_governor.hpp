@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+
+namespace blr {
+
+/// Enforces the resource contract of one governed factorization: a hard
+/// memory budget (delegated to the MemoryTracker's soft-failing allocate)
+/// and a wall-clock deadline, spanning every recovery-ladder attempt of one
+/// Solver::factorize call.
+///
+/// The deadline is an epoch-checked watchdog, not a timer thread: the
+/// numeric driver calls deadline_exceeded() from its hot loops, and only
+/// every kPollStride-th call actually reads the clock — the rest cost one
+/// relaxed fetch_add. Once the deadline trips, the flag is sticky, so every
+/// subsequent poll (on any worker) reports expiry immediately and the
+/// cooperative-cancellation drain (ThreadPool::cancel via record_failure)
+/// finishes the run without leaking tasks.
+///
+/// skew() is the deterministic-test hook (FaultInjection::Kind::ClockSkew):
+/// it advances the observed clock and re-evaluates expiry on the spot, so a
+/// deadline trip can be pinned to an exact supernode in tests.
+class ResourceGovernor {
+public:
+  /// Start governing: install `budget_bytes` on the MemoryTracker (0: no
+  /// budget) and start the deadline clock (`deadline_seconds` 0: none).
+  void arm(std::size_t budget_bytes, double deadline_seconds) {
+    budget_ = budget_bytes;
+    deadline_s_ = deadline_seconds;
+    skew_.store(0.0, std::memory_order_relaxed);
+    polls_.store(0, std::memory_order_relaxed);
+    expired_.store(false, std::memory_order_relaxed);
+    armed_ = true;
+    clock_.reset();
+    apply_budget();
+  }
+
+  /// Stop governing and clear the tracker's budget/fail point.
+  void disarm() {
+    armed_ = false;
+    MemoryTracker::instance().set_budget(0);
+    MemoryTracker::instance().set_fail_at(0);
+  }
+
+  /// Re-install the budget after a MemoryTracker::reset() (each recovery
+  /// attempt resets the tracker for a fresh peak measurement).
+  void apply_budget() const {
+    if (armed_) MemoryTracker::instance().set_budget(budget_);
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::size_t budget_bytes() const { return budget_; }
+  [[nodiscard]] double deadline_seconds() const { return deadline_s_; }
+  [[nodiscard]] bool deadline_active() const {
+    return armed_ && deadline_s_ > 0;
+  }
+
+  /// Seconds since arm(), including injected skew.
+  [[nodiscard]] double elapsed_seconds() const {
+    return clock_.elapsed() + skew_.load(std::memory_order_relaxed);
+  }
+
+  /// Cheap watchdog poll: true once the deadline has passed (sticky). Reads
+  /// the clock only every kPollStride-th call.
+  bool deadline_exceeded() {
+    if (!deadline_active()) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    const std::uint32_t n = polls_.fetch_add(1, std::memory_order_relaxed);
+    if (n % kPollStride != 0) return false;
+    if (elapsed_seconds() > deadline_s_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Advance the observed clock by `seconds` (fault injection) and
+  /// re-evaluate expiry immediately, so the trip point is deterministic.
+  void skew(double seconds) {
+    double cur = skew_.load(std::memory_order_relaxed);
+    while (!skew_.compare_exchange_weak(cur, cur + seconds,
+                                        std::memory_order_relaxed)) {
+    }
+    if (deadline_active() && elapsed_seconds() > deadline_s_) {
+      expired_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Structured report of a deadline breach, snapshotting the tracker state.
+  [[nodiscard]] ResourceReport deadline_report(index_t supernode) const;
+
+private:
+  static constexpr std::uint32_t kPollStride = 64;
+
+  Timer clock_;
+  std::size_t budget_ = 0;
+  double deadline_s_ = 0;
+  bool armed_ = false;
+  std::atomic<double> skew_{0.0};
+  std::atomic<std::uint32_t> polls_{0};
+  std::atomic<bool> expired_{false};
+};
+
+} // namespace blr

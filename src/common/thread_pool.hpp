@@ -70,6 +70,9 @@ public:
   /// own failure flag). wait_idle() still accounts for discarded tasks, so
   /// it returns as soon as the running tasks finish and the queues drain.
   /// The pool stays usable: clear with reset_cancel() before the next batch.
+  /// This is the drain path for numerical breakdowns and resource breaches
+  /// alike — the ResourceGovernor's deadline watchdog routes through the
+  /// same record-failure-then-cancel sequence (DESIGN.md §13).
   void cancel();
   void reset_cancel() { cancelled_.store(false, std::memory_order_seq_cst); }
   [[nodiscard]] bool cancelled() const {

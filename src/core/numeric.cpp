@@ -54,11 +54,12 @@ index_t find_blok_row(const symbolic::Cblk& c, index_t row) {
 NumericFactor::NumericFactor(const sparse::CscMatrix& a,
                              const ordering::Ordering& ord,
                              const symbolic::SymbolicFactor& sf,
-                             const SolverOptions& opts, bool llt)
+                             const SolverOptions& opts, bool llt,
+                             ResourceGovernor* governor)
     : ord_(ord), sf_(sf), opts_(opts), llt_(llt),
       data_(static_cast<std::size_t>(sf.num_cblks())),
       locks_(static_cast<std::size_t>(sf.num_cblks())),
-      deps_(static_cast<std::size_t>(sf.num_cblks())) {
+      deps_(static_cast<std::size_t>(sf.num_cblks())), gov_(governor) {
   if (opts_.check_finite) {
     // Guard the assembly input: a single NaN/Inf would otherwise propagate
     // silently through the factorization into a garbage answer.
@@ -146,6 +147,74 @@ void NumericFactor::record_failure(FailureReport report) {
   if (pool_ != nullptr) pool_->cancel();
 }
 
+void NumericFactor::stamp_resource(ResourceReport& r, index_t k) const {
+  if (r.supernode < 0) r.supernode = k;
+  if (r.elapsed_seconds == 0) {
+    r.elapsed_seconds =
+        gov_ != nullptr ? gov_->elapsed_seconds() : trace_clock_.elapsed();
+  }
+}
+
+void NumericFactor::record_resource_failure(ResourceReport report) {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (error_.empty()) {
+      error_ = report.to_string();
+      resource_report_ = std::move(report);
+      resource_failed_ = true;
+    }
+  }
+  failed_.store(true, std::memory_order_seq_cst);
+  // Same drain contract as record_failure: cancel so the doomed run returns
+  // in the time of the in-flight tasks, with ThreadPool::pending() == 0.
+  if (pool_ != nullptr) pool_->cancel();
+}
+
+void NumericFactor::throw_recorded() const {
+  // Called only after the run drained (wait_idle returned / sequential loop
+  // exited): no concurrent writers remain, so the reports are safe to read
+  // without the mutex.
+  if (resource_failed_) throw ResourceError(error_, resource_report_);
+  throw NumericalError(error_, report_);
+}
+
+void NumericFactor::poll_deadline(index_t k) const {
+  if (gov_ == nullptr) return;
+  if (!gov_->deadline_exceeded()) return;
+  ResourceReport r = gov_->deadline_report(k);
+  throw ResourceError(r.to_string(), std::move(r));
+}
+
+void NumericFactor::maybe_inject_alloc_fail(index_t k) const {
+  if (opts_.fault.kind != FaultInjection::Kind::AllocFail) return;
+  // at_bytes > 0 arms the MemoryTracker fail point instead (Solver does it
+  // at attempt start); this hook handles the supernode-targeted form.
+  if (opts_.fault.at_bytes != 0) return;
+  if (opts_.fault.supernode != k || !opts_.fault.try_fire()) return;
+  const MemoryTracker& t = MemoryTracker::instance();
+  ResourceReport r;
+  r.kind = ResourceKind::MemoryBudget;
+  r.budget_bytes = t.budget();
+  r.category = MemCategory::Factors;
+  for (std::size_t c = 0; c < r.live_bytes.size(); ++c) {
+    r.live_bytes[c] = t.current(static_cast<MemCategory>(c));
+  }
+  r.peak_bytes = t.peak_total();
+  r.supernode = k;
+  r.injected = true;
+  r.elapsed_seconds =
+      gov_ != nullptr ? gov_->elapsed_seconds() : trace_clock_.elapsed();
+  r.detail = "injected allocation failure at supernode assembly";
+  throw ResourceError(r.to_string(), std::move(r));
+}
+
+void NumericFactor::maybe_skew_clock(index_t k) {
+  if (opts_.fault.kind != FaultInjection::Kind::ClockSkew) return;
+  if (opts_.fault.supernode != k || gov_ == nullptr) return;
+  if (!opts_.fault.try_fire()) return;
+  gov_->skew(opts_.fault.skew_seconds);
+}
+
 void NumericFactor::check_cblk_finite(index_t k, FailureKind kind) const {
   const CblkData& cd = data_[static_cast<std::size_t>(k)];
   const char* where = nullptr;
@@ -224,6 +293,8 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
 }
 
 void NumericFactor::assemble_cblk(index_t k) {
+  poll_deadline(k);
+  maybe_inject_alloc_fail(k);
   const symbolic::Cblk& c = sf_.cblk(k);
   CblkData& cd = data_[static_cast<std::size_t>(k)];
   cd.diag = lr::Tile::make_dense(c.width(), c.width(), cd.arena);
@@ -281,7 +352,16 @@ void NumericFactor::flush_all_accumulators(index_t cblk) {
 }
 
 void NumericFactor::assemble_all() {
-  for (index_t k = 0; k < sf_.num_cblks(); ++k) assemble_cblk(k);
+  for (index_t k = 0; k < sf_.num_cblks(); ++k) {
+    try {
+      assemble_cblk(k);
+    } catch (ResourceError& e) {
+      // Sequential context (constructor): stamp the requesting supernode and
+      // let the breach propagate to Solver::factorize's resource ladder.
+      stamp_resource(e.report(), k);
+      throw;
+    }
+  }
 }
 
 void NumericFactor::factorize(ThreadPool* pool) {
@@ -291,6 +371,8 @@ void NumericFactor::factorize(ThreadPool* pool) {
     std::lock_guard lock(error_mutex_);
     error_.clear();
     report_ = FailureReport{};
+    resource_failed_ = false;
+    resource_report_ = ResourceReport{};
   }
   trace_.clear();
   trace_clock_.reset();
@@ -328,7 +410,7 @@ void NumericFactor::factorize(ThreadPool* pool) {
          ++k) {
       eliminate(k);
     }
-    if (failed_.load()) throw NumericalError(error_, report_);
+    if (failed_.load()) throw_recorded();
     return;
   }
 
@@ -354,7 +436,7 @@ void NumericFactor::factorize(ThreadPool* pool) {
   // flag so the pool is immediately reusable (recovery retries, benches).
   pool->reset_cancel();
   pool_ = nullptr;
-  if (failed_.load()) throw NumericalError(error_, report_);
+  if (failed_.load()) throw_recorded();
 }
 
 void NumericFactor::factorize_left_looking() {
@@ -380,15 +462,21 @@ void NumericFactor::factorize_left_looking() {
 
   for (index_t k = 0; k < ncblk; ++k) {
     const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
-    // Allocate and assemble this supernode only now — the memory gain of the
-    // left-looking schedule (paper §4.3).
-    assemble_cblk(k);
-    for (const Update& u : incoming[static_cast<std::size_t>(k)]) {
-      apply_update(u.k, u.bi, u.bj);
+    try {
+      // Allocate and assemble this supernode only now — the memory gain of
+      // the left-looking schedule (paper §4.3).
+      assemble_cblk(k);
+      for (const Update& u : incoming[static_cast<std::size_t>(k)]) {
+        apply_update(u.k, u.bi, u.bj);
+      }
+      incoming[static_cast<std::size_t>(k)].clear();
+      incoming[static_cast<std::size_t>(k)].shrink_to_fit();
+      factor_panel(k);
+    } catch (ResourceError& e) {
+      // Sequential schedule: stamp and propagate straight to the ladder.
+      stamp_resource(e.report(), k);
+      throw;
     }
-    incoming[static_cast<std::size_t>(k)].clear();
-    incoming[static_cast<std::size_t>(k)].shrink_to_fit();
-    factor_panel(k);
     if (opts_.collect_trace) {
       trace_.push_back({k, 0, t0, trace_clock_.elapsed()});
     }
@@ -435,13 +523,14 @@ void NumericFactor::factorize_dag(ThreadPool* pool) {
   ap_ = sparse::CscMatrix();
   apt_ = sparse::CscMatrix();
   input_track_ = TrackedAlloc();
-  if (failed_.load()) throw NumericalError(error_, report_);
+  if (failed_.load()) throw_recorded();
 }
 
 bool NumericFactor::run_dag_task(std::uint32_t id) {
   if (failed_.load(std::memory_order_relaxed)) return false;
   const DagTask& t = dag_->task(id);
   try {
+    poll_deadline(t.k);
     switch (t.kind) {
       case DagTaskKind::Assemble: dag_assemble(t); break;
       case DagTaskKind::Factor: dag_factor(t); break;
@@ -450,6 +539,10 @@ bool NumericFactor::run_dag_task(std::uint32_t id) {
       case DagTaskKind::Product: dag_product(t); break;
       case DagTaskKind::Apply: dag_apply(t); break;
     }
+  } catch (ResourceError& e) {
+    stamp_resource(e.report(), t.k);
+    record_resource_failure(std::move(e.report()));
+    return false;
   } catch (const NumericalError& e) {
     record_failure(e.report());
     return false;
@@ -483,6 +576,8 @@ void NumericFactor::dag_factor(const DagTask& t) {
   CblkData& cd = data_[static_cast<std::size_t>(k)];
   const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
   epochs_->expect(dag_->diag_addr(k), EpochGate::kAssembled);
+  maybe_skew_clock(k);
+  poll_deadline(k);
 
   if (opts_.fault.kind == FaultInjection::Kind::TinyPivot &&
       opts_.fault.supernode == k && opts_.fault.try_fire()) {
@@ -689,6 +784,9 @@ void NumericFactor::eliminate(index_t k) {
         }
       }
     }
+  } catch (ResourceError& e) {
+    stamp_resource(e.report(), k);
+    record_resource_failure(std::move(e.report()));
   } catch (const NumericalError& e) {
     record_failure(e.report());
   } catch (const std::exception& e) {
@@ -719,6 +817,7 @@ void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
         // Early exit at block-update granularity: once a sibling failed the
         // remaining updates are dead work on a doomed factorization.
         if (failed_.load(std::memory_order_relaxed)) return;
+        poll_deadline(k);
         const index_t target = apply_update(k, i, j);
         const index_t left =
             deps_[static_cast<std::size_t>(target)].fetch_sub(1,
@@ -729,6 +828,9 @@ void NumericFactor::update_range(index_t k, index_t jb, index_t je) {
         }
       }
     }
+  } catch (ResourceError& e) {
+    stamp_resource(e.report(), k);
+    record_resource_failure(std::move(e.report()));
   } catch (const NumericalError& e) {
     record_failure(e.report());
   } catch (const std::exception& e) {
@@ -768,6 +870,7 @@ void NumericFactor::update_range_batched(index_t k, index_t jb, index_t je) {
     for (index_t j = jb; j < je; ++j) {
       for (index_t i = llt_ ? j : 0; i < nb; ++i) {
         if (failed_.load(std::memory_order_relaxed)) return;
+        poll_deadline(k);
         Pending pd;
         pd.loc = locate_update(k, i, j);
         pd.a = &cd.lpanel[static_cast<std::size_t>(i)];
@@ -825,6 +928,9 @@ void NumericFactor::update_range_batched(index_t k, index_t jb, index_t je) {
                       prio[static_cast<std::size_t>(target)]);
       }
     }
+  } catch (ResourceError& e) {
+    stamp_resource(e.report(), k);
+    record_resource_failure(std::move(e.report()));
   } catch (const NumericalError& e) {
     record_failure(e.report());
   } catch (const std::exception& e) {
@@ -835,6 +941,8 @@ void NumericFactor::update_range_batched(index_t k, index_t jb, index_t je) {
 
 void NumericFactor::factor_panel(index_t k) {
   if (failed_.load(std::memory_order_relaxed)) return;
+  maybe_skew_clock(k);
+  poll_deadline(k);
   {
     const symbolic::Cblk& c = sf_.cblk(k);
     CblkData& cd = data_[static_cast<std::size_t>(k)];

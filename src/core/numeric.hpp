@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/resource_governor.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/options.hpp"
@@ -77,9 +78,12 @@ public:
   /// Assembles the (permuted) initial matrix into the block structure.
   /// For Minimal-Memory this is where the initial compression (lines 1-4 of
   /// Algorithm 1) happens; the dense factor structure is never allocated.
+  /// `governor` (may be null: ungoverned) supplies the deadline watchdog the
+  /// driver polls and receives injected clock skew; budget breaches arrive
+  /// through the MemoryTracker as ResourceError regardless.
   NumericFactor(const sparse::CscMatrix& a, const ordering::Ordering& ord,
                 const symbolic::SymbolicFactor& sf, const SolverOptions& opts,
-                bool llt);
+                bool llt, ResourceGovernor* governor = nullptr);
 
   NumericFactor(const NumericFactor&) = delete;
   NumericFactor& operator=(const NumericFactor&) = delete;
@@ -218,6 +222,27 @@ private:
   /// kind: called once per compression site.
   void maybe_fail_compression(index_t k);
 
+  // ---- resource governance (DESIGN.md §13) ---------------------------
+  /// Deadline watchdog poll from the hot loops: throws ResourceError
+  /// (Deadline, stamped with supernode k) once the governed deadline passed.
+  void poll_deadline(index_t k) const;
+  /// AllocFail-at-supernode injection: throw an injected budget-style
+  /// ResourceError when the fault targets supernode k's assembly.
+  void maybe_inject_alloc_fail(index_t k) const;
+  /// ClockSkew injection: advance the governor's clock at supernode k's
+  /// diagonal factorization.
+  void maybe_skew_clock(index_t k);
+  /// Fill in what the breach site could not know: the requesting supernode
+  /// (the MemoryTracker sees bytes, not block structure) and the elapsed
+  /// time.
+  void stamp_resource(ResourceReport& r, index_t k) const;
+  /// First-failure-wins capture of a resource breach (the ResourceError
+  /// sibling of record_failure): trips failed_ and cancels the pool.
+  void record_resource_failure(ResourceReport report);
+  /// Re-throw the recorded first failure as its original type. Called after
+  /// the run drained; reads the report without the mutex (no tasks left).
+  [[noreturn]] void throw_recorded() const;
+
   const ordering::Ordering& ord_;
   const symbolic::SymbolicFactor& sf_;
   SolverOptions opts_;
@@ -244,9 +269,12 @@ private:
   std::vector<TraceEvent> trace_;
   std::mutex trace_mutex_;
   Timer trace_clock_;
+  ResourceGovernor* gov_ = nullptr;   // null: ungoverned run
   std::atomic<bool> failed_{false};
   std::string error_;
   FailureReport report_;              // first failure, guarded by error_mutex_
+  bool resource_failed_ = false;      // first failure was a resource breach
+  ResourceReport resource_report_;    // its report, guarded by error_mutex_
   std::mutex error_mutex_;
   std::atomic<index_t> compressions_{0};  // compression-site counter (injection)
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -96,10 +97,29 @@ struct FaultInjection {
     PoisonBlock,      ///< write a NaN into `supernode`'s assembled diagonal
                       ///< block (caught by the non-finite assembly guard)
     CompressionFail,  ///< fail the `index`-th low-rank compression
+    AllocFail,        ///< fail a tracked allocation with an injected
+                      ///< ResourceError: at_bytes > 0 arms the MemoryTracker
+                      ///< fail point (optionally filtered by alloc_category);
+                      ///< at_bytes == 0 fails at `supernode`'s assembly
+    ClockSkew,        ///< advance the ResourceGovernor's clock by
+                      ///< skew_seconds right before `supernode`'s diagonal
+                      ///< factorization, deterministically tripping the
+                      ///< deadline watchdog there
   };
   Kind kind = Kind::None;
-  index_t supernode = 0;  ///< target column block (TinyPivot / PoisonBlock)
+  index_t supernode = 0;  ///< target column block (TinyPivot / PoisonBlock /
+                          ///< AllocFail with at_bytes == 0 / ClockSkew)
   index_t index = 0;      ///< which compression fails (CompressionFail)
+  /// AllocFail: live-total threshold (bytes) at which the next tracked
+  /// allocation fails; 0 targets `supernode`'s assembly instead.
+  std::size_t at_bytes = 0;
+  /// AllocFail with at_bytes > 0: restrict the armed fail point to one
+  /// MemCategory (cast to int); -1 (default) fails whichever allocation
+  /// crosses the threshold first.
+  int alloc_category = -1;
+  /// ClockSkew: seconds added to the governor's observed clock (default
+  /// large enough to trip any test deadline).
+  double skew_seconds = 1e6;
   /// Total firings allowed across all factorization attempts (< 0:
   /// unlimited). The default of 1 models a transient fault: the first
   /// attempt breaks down, a recovery retry runs clean.
@@ -144,9 +164,18 @@ struct RecoveryStep {
                        ///< replacement)
     SwitchToLu,        ///< re-factorize LLᵗ breakdowns as LU
     DenseFallback,     ///< abandon compression entirely (Strategy::Dense)
+    // Resource-pressure rungs (climbed on ResourceError, not NumericalError):
+    DemoteFp32,        ///< store low-rank factors fp32 at rest
+                       ///< (TilePrecision::MixedTiles, ~50% off the LR part)
+    LoosenTolerance,   ///< multiply τ by tolerance_factor (> 1 here: trade
+                       ///< accuracy for lower ranks and smaller factors)
+    SwitchToMinMem,    ///< Strategy::MinimalMemory — compress up front so the
+                       ///< dense factor structure is never allocated (the
+                       ///< paper's lowest-peak scenario)
   };
   Action action = Action::TightenTolerance;
-  real_t tolerance_factor = 1e-2;  ///< τ multiplier (TightenTolerance)
+  real_t tolerance_factor = 1e-2;  ///< τ multiplier (TightenTolerance < 1,
+                                   ///< LoosenTolerance > 1)
   real_t pivot_threshold = 1e-8;   ///< static-pivot cutoff (StaticPivoting)
 };
 
@@ -160,9 +189,19 @@ const char* recovery_action_name(RecoveryStep::Action a);
 struct RecoveryPolicy {
   bool enabled = false;
   std::vector<RecoveryStep> ladder;
+  /// Degradation ladder climbed on ResourceError (budget breaches only —
+  /// deadline breaches never retry: no rung recovers spent wall-clock).
+  /// Empty with enabled=true uses default_resource_ladder().
+  std::vector<RecoveryStep> resource_ladder;
 
   /// tighten τ ×1e-2 → static pivoting @1e-8 (LU) → dense fallback.
   static std::vector<RecoveryStep> default_ladder();
+  /// fp32 demotion → loosen τ ×1e2 → Minimal-Memory strategy. Note the τ
+  /// direction: the numerical ladder *tightens* τ (keep more spectrum to
+  /// cure a breakdown); the resource ladder *loosens* it (lower ranks,
+  /// smaller factors) — memory pressure is an accuracy/memory dial, not a
+  /// stability problem.
+  static std::vector<RecoveryStep> default_resource_ladder();
 };
 
 /// Everything configurable about a solver run. Defaults reproduce the
@@ -268,10 +307,27 @@ struct SolverOptions {
   /// pipelines chasing the last percent.
   bool check_finite = true;
 
+  /// Hard budget (bytes) on the live tracked memory of the factorization —
+  /// factors, workspace, everything the MemoryTracker sees. 0 (default)
+  /// means ungoverned. A tracked allocation that would push the live total
+  /// past the budget fails softly with blr::ResourceError carrying a
+  /// structured ResourceReport; with recovery enabled the resource ladder
+  /// (fp32 demotion → loosen τ → Minimal-Memory) retries before the error
+  /// surfaces. The recorded peak never exceeds the budget (DESIGN.md §13).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Wall-clock deadline (milliseconds) on factorize(), spanning every
+  /// recovery attempt. 0 (default) means none. Enforced by an epoch-checked
+  /// watchdog polled from the numeric hot loops: on expiry the run cancels
+  /// cooperatively (the task DAG drains without leaks) and factorize throws
+  /// blr::ResourceError — deadline breaches are terminal, never retried.
+  double deadline_ms = 0;
+
   /// Deterministic fault injection for testing breakdown handling.
   FaultInjection fault;
 
-  /// Automatic retry ladder on numerical breakdown (disabled by default).
+  /// Automatic retry ladders on numerical breakdown and resource pressure
+  /// (disabled by default).
   RecoveryPolicy recovery;
 
   /// LUAR-style update accumulation for the Minimal-Memory scenario (the

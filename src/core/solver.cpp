@@ -34,6 +34,15 @@ void apply_recovery_step(SolverOptions& eff, const RecoveryStep& step) {
     case RecoveryStep::Action::DenseFallback:
       eff.strategy = Strategy::Dense;
       break;
+    case RecoveryStep::Action::DemoteFp32:
+      eff.precision = TilePrecision::MixedTiles;
+      break;
+    case RecoveryStep::Action::LoosenTolerance:
+      eff.tolerance *= step.tolerance_factor;
+      break;
+    case RecoveryStep::Action::SwitchToMinMem:
+      eff.strategy = Strategy::MinimalMemory;
+      break;
   }
 }
 
@@ -88,6 +97,9 @@ const char* recovery_action_name(RecoveryStep::Action a) {
     case RecoveryStep::Action::StaticPivoting: return "static-pivoting";
     case RecoveryStep::Action::SwitchToLu: return "switch-to-lu";
     case RecoveryStep::Action::DenseFallback: return "dense-fallback";
+    case RecoveryStep::Action::DemoteFp32: return "demote-fp32";
+    case RecoveryStep::Action::LoosenTolerance: return "loosen-tolerance";
+    case RecoveryStep::Action::SwitchToMinMem: return "switch-to-minmem";
   }
   return "?";
 }
@@ -99,6 +111,15 @@ std::vector<RecoveryStep> RecoveryPolicy::default_ladder() {
   ladder[1].action = RecoveryStep::Action::StaticPivoting;
   ladder[1].pivot_threshold = 1e-8;
   ladder[2].action = RecoveryStep::Action::DenseFallback;
+  return ladder;
+}
+
+std::vector<RecoveryStep> RecoveryPolicy::default_resource_ladder() {
+  std::vector<RecoveryStep> ladder(3);
+  ladder[0].action = RecoveryStep::Action::DemoteFp32;
+  ladder[1].action = RecoveryStep::Action::LoosenTolerance;
+  ladder[1].tolerance_factor = 1e2;
+  ladder[2].action = RecoveryStep::Action::SwitchToMinMem;
   return ladder;
 }
 
@@ -147,6 +168,19 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   num_.reset();
   stats_.attempts.clear();
   stats_.time_factorize = 0;
+  stats_.memory_budget_bytes = opts_.memory_budget_bytes;
+  stats_.deadline_seconds = opts_.deadline_ms / 1e3;
+  stats_.deadline_margin = 0;
+  stats_.resource_rungs = 0;
+
+  // The governor spans the whole call — every recovery attempt shares one
+  // budget and one deadline clock. Disarmed on every exit path so a failed
+  // governed run cannot leave a stale budget on the process-wide tracker.
+  governor_.arm(opts_.memory_budget_bytes, opts_.deadline_ms / 1e3);
+  struct Disarm {
+    ResourceGovernor& g;
+    ~Disarm() { g.disarm(); }
+  } disarm{governor_};
 
   const auto capture_dag = [this] {
     const NumericFactor::DagStats ds =
@@ -177,13 +211,37 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     }
   };
 
+  // Per-attempt counter capture (satellite of DESIGN.md §13): every counter
+  // source is reset at the top of each attempt, so these are THIS attempt's
+  // numbers. Must run while num_ is still alive (dag_stats).
+  const auto capture_attempt = [this](FactorizeAttempt& rec) {
+    rec.peak_bytes = MemoryTracker::instance().peak_total();
+    if (pool_) {
+      const ThreadPool::WorkerStats ws = pool_->total_stats();
+      rec.scheduler_tasks = ws.executed;
+      rec.scheduler_discarded = ws.discarded;
+    }
+    const NumericFactor::DagStats ds =
+        num_ ? num_->dag_stats() : NumericFactor::DagStats{};
+    rec.dag_tasks = ds.tasks;
+    rec.dag_executed = ds.executed;
+    const BatchExecStats bs = batch_stats_snapshot();
+    rec.batches = bs.batches;
+    rec.batch_entries = bs.entries;
+  };
+
   SolverOptions eff = opts_;
   std::vector<RecoveryStep> ladder;
+  std::vector<RecoveryStep> res_ladder;
   if (opts_.recovery.enabled) {
     ladder = opts_.recovery.ladder.empty() ? RecoveryPolicy::default_ladder()
                                            : opts_.recovery.ladder;
+    res_ladder = opts_.recovery.resource_ladder.empty()
+                     ? RecoveryPolicy::default_resource_ladder()
+                     : opts_.recovery.resource_ladder;
   }
   std::size_t rung = 0;
+  std::size_t res_rung = 0;
   std::string action = "initial";
 
   for (int attempt = 0;; ++attempt) {
@@ -199,6 +257,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     rec.attempt = attempt;
     rec.action = action;
     rec.strategy = strategy_name(eff.strategy);
+    rec.precision = precision_name(eff.precision);
     rec.tolerance = static_cast<double>(eff.tolerance);
     rec.pivot_threshold = static_cast<double>(eff.pivot_threshold);
     rec.llt = llt_;
@@ -206,24 +265,42 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     // Fresh peak measurement, kernel-dispatch counters, and scheduler
     // counters for this attempt.
     MemoryTracker::instance().reset();
+    governor_.apply_budget();  // reset() cleared the tracker-side budget
     KernelDispatch::instance().reset_counters();
     reset_batch_stats();
     la::reset_pack_cache_stats();
     if (pool_) pool_->reset_stats();
 
+    // AllocFail with a byte threshold arms the tracker's one-shot fail
+    // point. The trigger budget is claimed here, at arming time, because
+    // the tracker (common layer) cannot see FaultInjection: a transient
+    // fault (max_triggers == 1) arms the first attempt only.
+    if (eff.fault.kind == FaultInjection::Kind::AllocFail &&
+        eff.fault.at_bytes > 0 && eff.fault.try_fire()) {
+      MemoryTracker::instance().set_fail_at(eff.fault.at_bytes,
+                                            eff.fault.alloc_category);
+    }
+
     Timer timer;
     try {
-      num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, eff, llt_);
+      num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, eff, llt_,
+                                             &governor_);
       num_->factorize(pool_.get());
       rec.seconds = timer.elapsed();
       rec.succeeded = true;
       stats_.time_factorize += rec.seconds;
+      capture_attempt(rec);
       stats_.attempts.push_back(std::move(rec));
+      if (opts_.deadline_ms > 0) {
+        stats_.deadline_margin =
+            opts_.deadline_ms / 1e3 - governor_.elapsed_seconds();
+      }
       break;
     } catch (NumericalError& e) {
       rec.seconds = timer.elapsed();
       stats_.time_factorize += rec.seconds;
       capture_dag();  // counters of the failed (cancelled) DAG run
+      capture_attempt(rec);
       num_.reset();
       e.report().attempt = attempt;
       rec.error = e.report().to_string();
@@ -237,6 +314,27 @@ void Solver::factorize(const sparse::CscMatrix& a) {
       action = recovery_action_name(ladder[rung].action);
       apply_recovery_step(eff, ladder[rung]);
       ++rung;
+    } catch (ResourceError& e) {
+      rec.seconds = timer.elapsed();
+      stats_.time_factorize += rec.seconds;
+      capture_dag();
+      capture_attempt(rec);
+      num_.reset();
+      e.report().attempt = attempt;
+      rec.resource = true;
+      rec.error = e.report().to_string();
+      stats_.attempts.push_back(std::move(rec));
+      capture_scheduler();
+      // Deadline breaches are terminal: no degradation rung recovers spent
+      // wall-clock, and the expired watchdog would trip a retry instantly.
+      if (e.report().kind == ResourceKind::Deadline ||
+          res_rung >= res_ladder.size()) {
+        throw ResourceError(e.report().to_string(), e.report());
+      }
+      action = recovery_action_name(res_ladder[res_rung].action);
+      apply_recovery_step(eff, res_ladder[res_rung]);
+      ++res_rung;
+      stats_.resource_rungs = static_cast<int>(res_rung);
     }
   }
 
@@ -361,6 +459,27 @@ void Solver::print_summary(std::ostream& os) const {
      << "  memory peak   : "
      << static_cast<double>(stats_.factors_peak_bytes) / 1e6 << " MB factors, "
      << static_cast<double>(stats_.total_peak_bytes) / 1e6 << " MB total\n";
+  if (stats_.memory_budget_bytes > 0 || stats_.deadline_seconds > 0) {
+    os << "  governance    :";
+    if (stats_.memory_budget_bytes > 0) {
+      os << " budget "
+         << static_cast<double>(stats_.memory_budget_bytes) / 1e6
+         << " MB (peak "
+         << 100.0 * static_cast<double>(stats_.total_peak_bytes) /
+                static_cast<double>(stats_.memory_budget_bytes)
+         << "% of budget)";
+    }
+    if (stats_.deadline_seconds > 0) {
+      if (stats_.memory_budget_bytes > 0) os << ",";
+      os << " deadline " << stats_.deadline_seconds << " s (margin "
+         << stats_.deadline_margin << " s)";
+    }
+    if (stats_.resource_rungs > 0) {
+      os << ", " << stats_.resource_rungs << " degradation rung"
+         << (stats_.resource_rungs > 1 ? "s" : "");
+    }
+    os << "\n";
+  }
   if (stats_.pivots_replaced > 0) {
     os << "  static pivots : " << stats_.pivots_replaced << " replaced\n";
   }
@@ -404,12 +523,30 @@ void Solver::print_summary(std::ostream& os) const {
   if (stats_.attempts.size() > 1) {
     os << "  recovery      : " << stats_.attempts.size() << " attempts\n";
     for (const FactorizeAttempt& at : stats_.attempts) {
-      os << "    #" << at.attempt << " [" << at.action << "] "
-         << at.strategy << (at.llt ? " LL^t" : " LU") << ", tau = "
-         << at.tolerance;
+      os << "    #" << at.attempt << " [" << at.action << "]"
+         << (at.resource ? " [resource]" : "") << " " << at.strategy
+         << (at.llt ? " LL^t" : " LU") << ", tau = " << at.tolerance;
       if (at.pivot_threshold > 0) os << ", pivot = " << at.pivot_threshold;
+      if (!at.precision.empty() && at.precision != "fp64") {
+        os << ", " << at.precision;
+      }
       os << ": "
          << (at.succeeded ? "ok" : at.error) << " (" << at.seconds << " s)\n";
+      os << "      peak " << static_cast<double>(at.peak_bytes) / 1e6
+         << " MB";
+      if (at.scheduler_tasks > 0 || at.scheduler_discarded > 0) {
+        os << ", " << at.scheduler_tasks << " tasks ("
+           << at.scheduler_discarded << " cancelled)";
+      }
+      if (at.dag_tasks > 0) {
+        os << ", dag " << at.dag_executed << "/" << at.dag_tasks
+           << " executed";
+      }
+      if (at.batches > 0) {
+        os << ", " << at.batches << " batches (" << at.batch_entries
+           << " entries)";
+      }
+      os << "\n";
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/resource_governor.hpp"
 #include "common/thread_pool.hpp"
 #include "core/numeric.hpp"
 #include "core/options.hpp"
@@ -82,6 +83,12 @@ public:
     return pool_ ? pool_->worker_stats() : std::vector<ThreadPool::WorkerStats>{};
   }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
+  /// Tasks still queued (unexecuted) in the worker pool — 0 once a run,
+  /// including a resource-cancelled one, has fully drained. Exposed so
+  /// tests can pin the no-task-leak guarantee of governed cancellation.
+  [[nodiscard]] std::size_t pool_pending() const {
+    return pool_ ? pool_->pending() : 0;
+  }
   [[nodiscard]] bool analyzed() const { return sf_ != nullptr; }
   [[nodiscard]] bool factorized() const { return num_ != nullptr; }
   [[nodiscard]] bool is_llt() const { return llt_; }
@@ -96,6 +103,10 @@ private:
   ordering::Ordering ord_;
   std::unique_ptr<symbolic::SymbolicFactor> sf_;
   std::unique_ptr<NumericFactor> num_;
+  /// Enforces memory_budget_bytes / deadline_ms across every attempt of one
+  /// factorize() call (armed for its whole duration, numerical retries
+  /// included — the deadline covers the ladder, not each rung).
+  ResourceGovernor governor_;
   SolverStats stats_;
   bool llt_ = false;
 };

@@ -55,12 +55,27 @@ struct FactorizeAttempt {
   int attempt = 0;             ///< 0 = first try
   std::string action;          ///< "initial" or the recovery rung applied
   std::string strategy;        ///< effective strategy name for this attempt
+  std::string precision;       ///< effective tile-precision name
   double tolerance = 0;        ///< effective τ
   double pivot_threshold = 0;  ///< effective static-pivot threshold
   bool llt = false;            ///< effective factorization kind
   bool succeeded = false;
+  bool resource = false;       ///< failed on a resource breach (ResourceError),
+                               ///< not a numerical breakdown
   double seconds = 0;          ///< wall time of this attempt
   std::string error;           ///< failure summary (empty on success)
+
+  // Per-attempt run counters. Every counter source (MemoryTracker, kernel
+  // dispatch, batch stats, pool stats) is reset at the start of each
+  // attempt, so these are THIS attempt's numbers, not cumulative — ladder
+  // retries report what each rung actually did.
+  std::size_t peak_bytes = 0;            ///< tracker total high-water mark
+  std::uint64_t scheduler_tasks = 0;     ///< pool tasks executed
+  std::uint64_t scheduler_discarded = 0; ///< pool tasks drained by cancellation
+  std::uint64_t dag_tasks = 0;           ///< DAG nodes built (Dataflow::Dag)
+  std::uint64_t dag_executed = 0;        ///< DAG task bodies actually run
+  std::uint64_t batches = 0;             ///< kernel batches executed
+  std::uint64_t batch_entries = 0;       ///< kernel calls routed through them
 };
 
 /// Aggregate measurements of one solver run — the quantities the paper's
@@ -125,6 +140,16 @@ struct SolverStats {
   std::uint64_t dag_executed = 0;       ///< task bodies actually run
   std::uint64_t dag_ready_peak = 0;     ///< max ready-but-unstarted tasks
   std::uint64_t dag_critical_path = 0;  ///< longest dependency chain (tasks)
+
+  // Resource governance of the last factorize() (DESIGN.md §13; zero when
+  // ungoverned).
+  std::size_t memory_budget_bytes = 0;  ///< active budget (0: none)
+  double deadline_seconds = 0;          ///< active deadline (0: none)
+  /// Wall-clock headroom left at success: deadline − governed elapsed
+  /// (0 when no deadline was set).
+  double deadline_margin = 0;
+  /// Resource-ladder rungs climbed (degradations applied) by this call.
+  int resource_rungs = 0;
 
   /// Every factorization attempt of the last factorize() call (one entry
   /// for a clean run; one per ladder rung when recovery kicked in).

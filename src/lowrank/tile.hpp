@@ -157,8 +157,16 @@ public:
 
   void charge(std::size_t b) {
     if (b == 0) return;
-    bytes_.fetch_add(b, std::memory_order_relaxed);
+    // Tracker first: under a memory budget allocate() can throw, and the
+    // arena must not count bytes the tracker refused (a stale bytes_ would
+    // underflow the tracker when the tiles discharge).
     MemoryTracker::instance().allocate(cat_, b);
+    const std::size_t now = bytes_.fetch_add(b, std::memory_order_relaxed) + b;
+    std::size_t expected = peak_.load(std::memory_order_relaxed);
+    while (now > expected &&
+           !peak_.compare_exchange_weak(expected, now,
+                                        std::memory_order_relaxed)) {
+    }
   }
   void discharge(std::size_t b) {
     if (b == 0) return;
@@ -170,11 +178,17 @@ public:
   [[nodiscard]] std::size_t bytes() const {
     return bytes_.load(std::memory_order_relaxed);
   }
+  /// High-water mark of bytes() over this arena's lifetime (CAS-max, so
+  /// concurrent charges from parallel update tasks cannot lose a peak).
+  [[nodiscard]] std::size_t peak() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] MemCategory category() const { return cat_; }
 
 private:
   MemCategory cat_ = MemCategory::Factors;
   std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
 /// The single numeric storage unit of the factorization: a tagged
