@@ -3,9 +3,11 @@
 // Also serves as the measured counterpart of the complexity Table 1.
 //
 // On top of the google-benchmark sections, a custom driver measures the
-// packed gemm microkernel against the unpacked loop nests and the batched
-// dispatch path (KernelDispatch::run_batch) against eager per-call dispatch,
-// plus one end-to-end Just-In-Time factorization with batching off vs on.
+// packed gemm microkernel against the unpacked loop nests, la::gemm under
+// each kernel backend (Reference vs Native at its detected ISA tier,
+// DESIGN.md §14), and the batched dispatch path (KernelDispatch::run_batch)
+// against eager per-call dispatch, plus one end-to-end Just-In-Time
+// factorization with batching off vs on.
 // Results land in bench_kernels.json. `--quick` runs only this driver with
 // reduced repetitions and enforces the perf-smoke assertions (packed gemm
 // not slower than the loop nests at n=k=256; batches actually formed under
@@ -25,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "core/kernel_batch.hpp"
 #include "core/kernels_dispatch.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/random.hpp"
 
 namespace {
@@ -166,6 +169,44 @@ PackedRow measure_packed(index_t n, int trials, int reps) {
   return row;
 }
 
+struct BackendRow {
+  const char* backend = nullptr;
+  std::string isa;  ///< Native ISA tier; empty for Reference
+  index_t n = 0;
+  double seconds = 0, gflops = 0;
+};
+
+/// gemm GF/s under each kernel backend (DESIGN.md §14) — the A/B the
+/// runtime-dispatch layer exists for. Restores the entry backend.
+std::vector<BackendRow> measure_backends(int trials) {
+  const la::Backend entry = la::current_backend();
+  std::vector<BackendRow> rows;
+  for (const index_t n : {index_t(64), index_t(128), index_t(256)}) {
+    const int reps = n <= 64 ? 200 : n <= 128 ? 50 : 10;
+    Prng rng(7);
+    la::DMatrix a(n, n), b(n, n), c(n, n);
+    la::random_normal(a.view(), rng);
+    la::random_normal(b.view(), rng);
+    la::random_normal(c.view(), rng);
+    for (const la::Backend be : {la::Backend::Reference, la::Backend::Native}) {
+      la::set_backend(be);
+      BackendRow row;
+      row.backend = la::backend_name(be);
+      row.isa = be == la::Backend::Native ? la::native_isa_name(la::native_isa())
+                                          : "";
+      row.n = n;
+      row.seconds = best_seconds(trials, reps, [&] {
+        la::gemm(la::Trans::No, la::Trans::Yes, real_t(-1), a.cview(),
+                 b.cview(), real_t(1), c.view());
+      });
+      row.gflops = 2.0 * static_cast<double>(n) * n * n / row.seconds / 1e9;
+      rows.push_back(row);
+    }
+  }
+  la::set_backend(entry);
+  return rows;
+}
+
 struct BatchedRow {
   std::string op;
   index_t tile = 0;
@@ -293,6 +334,14 @@ int run_custom_driver(bool quick) {
     ++failures;
   }
 
+  std::printf("== backend A/B: la::gemm GF/s per kernel backend ==\n");
+  const std::vector<BackendRow> backends = measure_backends(trials);
+  for (const BackendRow& r : backends) {
+    const std::string isa = r.isa.empty() ? "" : "(" + r.isa + ")";
+    std::printf("  n=k=%-4lld %-10s %-9s %7.2f GF/s\n",
+                static_cast<long long>(r.n), r.backend, isa.c_str(), r.gflops);
+  }
+
   std::printf("== batched vs eager dispatch (threads=%d) ==\n",
               bench_threads());
   ThreadPool pool(bench_threads(), SchedulerKind::WorkStealing);
@@ -349,6 +398,15 @@ int run_custom_driver(bool quick) {
                    static_cast<long long>(p.n), p.packed_gflops,
                    p.unpacked_gflops, p.speedup,
                    i + 1 < packed.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"backends\": [\n");
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const BackendRow& r = backends[i];
+      std::fprintf(out,
+                   "    {\"backend\": \"%s\", \"isa\": \"%s\", \"n\": %lld, "
+                   "\"gflops\": %.3f}%s\n",
+                   r.backend, r.isa.c_str(), static_cast<long long>(r.n),
+                   r.gflops, i + 1 < backends.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n  \"batched_dispatch\": [\n");
     for (std::size_t i = 0; i < batched.size(); ++i) {

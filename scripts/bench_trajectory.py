@@ -41,6 +41,18 @@ def summarize(report: dict) -> dict:
         entry["packed_gemm_speedup"] = {
             str(row["n"]): row["speedup"] for row in packed if "n" in row
         }
+    backends = report.get("backends", [])
+    if backends:
+        # Headline per-backend GF/s at the largest measured size, plus the
+        # Native ISA tier the run dispatched to.
+        biggest = max(row["n"] for row in backends if "n" in row)
+        entry["backend_gflops"] = {
+            row["backend"]: row["gflops"]
+            for row in backends if row.get("n") == biggest
+        }
+        isas = {row["isa"] for row in backends if row.get("isa")}
+        if isas:
+            entry["backend_isa"] = sorted(isas)[0]
     batched = report.get("batched_dispatch", [])
     speedups = [row["speedup"] for row in batched if "speedup" in row]
     if speedups:

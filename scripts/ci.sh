@@ -4,7 +4,8 @@
 # clang-tidy on the numeric-engine headers.
 #
 #   scripts/ci.sh              # run every stage
-#   scripts/ci.sh debug        # one stage: docs | debug | asan | ubsan | tsan | tidy
+#   scripts/ci.sh debug        # one stage: docs | debug | asan | ubsan | tsan |
+#                              #   perfsmoke | backends | tidy
 #
 # Build trees go to build-ci-<stage>. The Debug stage exports
 # compile_commands.json and links it at the repo root for tooling.
@@ -97,6 +98,22 @@ run_perfsmoke() {
   echo "ci[perfsmoke]: packed gemm and batched execution within bounds"
 }
 
+# Backend A/B: the full tier-1 suite twice against ONE Debug build — once
+# forced onto the Reference loop nests, once onto the Native packed engine —
+# via the BLR_BACKEND environment override, proving the runtime-dispatch
+# contract (same binary, no recompilation; DESIGN.md §14). Reuses the debug
+# build tree when it exists. On non-x86 hosts Native still runs (the
+# portable packed tier is always compiled in), so no skip is needed; the
+# SIMD tiers just aren't built there.
+run_backends() {
+  configure_and_build build-ci-debug ""
+  BLR_BACKEND=reference ctest --test-dir build-ci-debug \
+        --output-on-failure -j "$JOBS"
+  BLR_BACKEND=native ctest --test-dir build-ci-debug \
+        --output-on-failure -j "$JOBS"
+  echo "ci[backends]: full suite green under BLR_BACKEND=reference and =native"
+}
+
 # clang-tidy over the headers introduced by the tile-centric engine. Fails
 # on any warning; skipped (not failed) when clang-tidy is not installed.
 run_tidy() {
@@ -110,7 +127,7 @@ run_tidy() {
       -- -std=c++20 -x c++ -Isrc
 }
 
-STAGES=(docs debug asan ubsan tsan perfsmoke tidy)
+STAGES=(docs debug asan ubsan tsan perfsmoke backends tidy)
 if [[ $# -gt 0 ]]; then STAGES=("$@"); fi
 for stage in "${STAGES[@]}"; do
   echo "==== ci stage: $stage ===="

@@ -296,16 +296,35 @@ KernelDispatch::KernelDispatch() {
 void KernelDispatch::register_kernel(KernelOp op, Rep a, Prec pa, Rep b,
                                      Prec pb, const char* name, Kernel timer,
                                      KernelFn fn) {
-  Entry& e = at(op, a, pa, b, pb);
+  // Backend-agnostic kernel: the same function serves every backend (its
+  // la:: calls dispatch per-backend one layer down), but each backend keeps
+  // its own counter row so A/B runs report separately.
+  for (int be = 0; be < kBackends; ++be) {
+    register_kernel_for(static_cast<la::Backend>(be), op, a, pa, b, pb, name,
+                        timer, fn);
+  }
+}
+
+void KernelDispatch::register_kernel_for(la::Backend backend, KernelOp op,
+                                         Rep a, Prec pa, Rep b, Prec pb,
+                                         const char* name, Kernel timer,
+                                         KernelFn fn) {
+  Entry& e = at(backend, op, a, pa, b, pb);
   if (e.fn == nullptr) order_.push_back(&e);
   e.name = name;
+  e.backend = backend;
   e.timer = timer;
   e.fn = fn;
 }
 
+bool KernelDispatch::has_kernel(la::Backend backend, KernelOp op, Rep a,
+                                Prec pa, Rep b, Prec pb) const {
+  return at(backend, op, a, pa, b, pb).fn != nullptr;
+}
+
 void KernelDispatch::run(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
                          KernelCtx& ctx) {
-  Entry& e = at(op, a, pa, b, pb);
+  Entry& e = at(la::current_backend(), op, a, pa, b, pb);
   if (e.fn == nullptr) {
     throw Error(std::string("no kernel registered for ") + kernel_op_name(op));
   }
@@ -325,7 +344,7 @@ void KernelDispatch::run_batch(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
                                KernelCtx* const* items, std::size_t count,
                                ThreadPool* pool) {
   if (count == 0) return;
-  Entry& e = at(op, a, pa, b, pb);
+  Entry& e = at(la::current_backend(), op, a, pa, b, pb);
   if (e.fn == nullptr) {
     throw Error(std::string("no kernel registered for ") + kernel_op_name(op));
   }
@@ -429,6 +448,7 @@ std::vector<DispatchCount> KernelDispatch::snapshot() const {
     if (eager + batched == 0) continue;
     DispatchCount d;
     d.kernel = e->name;
+    d.backend = la::backend_name(e->backend);
     // Total logical calls: a batch of N counts N, so the kernel table is
     // comparable across batching=Off/PerSupernode.
     d.calls = eager + batched;
@@ -444,16 +464,18 @@ std::vector<DispatchCount> KernelDispatch::snapshot() const {
 }
 
 void KernelDispatch::reset_counters() {
-  for (auto& ops : table_) {
-    for (auto& reps_a : ops) {
-      for (auto& precs_a : reps_a) {
-        for (auto& reps_b : precs_a) {
-          for (auto& e : reps_b) {
-            e.calls.store(0, std::memory_order_relaxed);
-            e.bytes.store(0, std::memory_order_relaxed);
-            e.nanos.store(0, std::memory_order_relaxed);
-            e.batched.store(0, std::memory_order_relaxed);
-            e.batch_invocations.store(0, std::memory_order_relaxed);
+  for (auto& backends : table_) {
+    for (auto& ops : backends) {
+      for (auto& reps_a : ops) {
+        for (auto& precs_a : reps_a) {
+          for (auto& reps_b : precs_a) {
+            for (auto& e : reps_b) {
+              e.calls.store(0, std::memory_order_relaxed);
+              e.bytes.store(0, std::memory_order_relaxed);
+              e.nanos.store(0, std::memory_order_relaxed);
+              e.batched.store(0, std::memory_order_relaxed);
+              e.batch_invocations.store(0, std::memory_order_relaxed);
+            }
           }
         }
       }

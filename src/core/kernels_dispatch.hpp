@@ -7,6 +7,7 @@
 
 #include "common/kernel_stats.hpp"
 #include "core/stats.hpp"
+#include "linalg/backend.hpp"
 #include "lowrank/kernels.hpp"
 
 namespace blr {
@@ -79,22 +80,41 @@ struct KernelCtx {
 
 using KernelFn = void (*)(KernelCtx&);
 
-/// Registry of numeric kernels keyed on (operation, repA, precA, repB,
-/// precB). Every call is counted (invocations, operand bytes touched, wall
-/// time), timed into the existing KernelStats rows, and routed to the
+/// Registry of numeric kernels keyed on (backend, operation, repA, precA,
+/// repB, precB). Every call is counted (invocations, operand bytes touched,
+/// wall time), timed into the existing KernelStats rows, and routed to the
 /// registered function — so a new kernel (another precision, another
 /// compression family) plugs in with register_kernel() and the driver loop
 /// never changes. The fp32 keys are exactly such a plug-in: promotion
 /// wrappers registered alongside the fp64 kernels, giving per-precision
 /// call/byte counters for free in snapshot().
+///
+/// The backend axis mirrors la::Backend: run()/run_batch() read
+/// la::current_backend() per call, so the same factorization driver reports
+/// separate per-kernel counter rows under Reference and Native (A/B runs
+/// need no code changes, only a backend switch). The built-in kernels are
+/// backend-agnostic — their la:: calls dispatch per-backend one layer down —
+/// so register_kernel() installs them under every backend; a kernel written
+/// for one backend only (e.g. a future device backend's fused update) uses
+/// register_kernel_for().
 class KernelDispatch {
 public:
   static KernelDispatch& instance();
 
-  /// Install (or replace) the kernel for a key. `timer` selects the
-  /// KernelStats row the call time is charged to.
+  /// Install (or replace) the kernel for a key under EVERY backend. `timer`
+  /// selects the KernelStats row the call time is charged to.
   void register_kernel(KernelOp op, Rep a, Prec pa, Rep b, Prec pb,
                        const char* name, Kernel timer, KernelFn fn);
+
+  /// Install (or replace) the kernel for a key under one backend only.
+  void register_kernel_for(la::Backend backend, KernelOp op, Rep a, Prec pa,
+                           Rep b, Prec pb, const char* name, Kernel timer,
+                           KernelFn fn);
+
+  /// True when a kernel is registered for the key under `backend` (the
+  /// dispatch-table completeness check in tests/test_backends.cpp).
+  [[nodiscard]] bool has_kernel(la::Backend backend, KernelOp op, Rep a,
+                                Prec pa, Rep b, Prec pb) const;
 
   /// Dispatch one call: counts, times, and runs the registered kernel.
   /// Operand bytes are measured on the tiles as stored (fp32 operands count
@@ -133,6 +153,7 @@ private:
 
   struct Entry {
     const char* name = nullptr;
+    la::Backend backend = la::Backend::Reference;  ///< table slice this entry lives in
     Kernel timer = Kernel::DenseUpdate;
     KernelFn fn = nullptr;
     std::atomic<std::uint64_t> calls{0};  ///< eager (non-batched) calls
@@ -142,22 +163,23 @@ private:
     std::atomic<std::uint64_t> batch_invocations{0};  ///< run_batch() calls
   };
 
+  static constexpr int kBackends = static_cast<int>(la::Backend::kCount);
   static constexpr int kOps = static_cast<int>(KernelOp::kCount);
   static constexpr int kReps = static_cast<int>(Rep::kCount);
   static constexpr int kPrecs = static_cast<int>(Prec::kCount);
-  Entry& at(KernelOp op, Rep a, Prec pa, Rep b, Prec pb) {
-    return table_[static_cast<int>(op)][static_cast<int>(a)]
-                 [static_cast<int>(pa)][static_cast<int>(b)]
-                 [static_cast<int>(pb)];
+  Entry& at(la::Backend be, KernelOp op, Rep a, Prec pa, Rep b, Prec pb) {
+    return table_[static_cast<int>(be)][static_cast<int>(op)]
+                 [static_cast<int>(a)][static_cast<int>(pa)]
+                 [static_cast<int>(b)][static_cast<int>(pb)];
   }
-  [[nodiscard]] const Entry& at(KernelOp op, Rep a, Prec pa, Rep b,
-                                Prec pb) const {
-    return table_[static_cast<int>(op)][static_cast<int>(a)]
-                 [static_cast<int>(pa)][static_cast<int>(b)]
-                 [static_cast<int>(pb)];
+  [[nodiscard]] const Entry& at(la::Backend be, KernelOp op, Rep a, Prec pa,
+                                Rep b, Prec pb) const {
+    return table_[static_cast<int>(be)][static_cast<int>(op)]
+                 [static_cast<int>(a)][static_cast<int>(pa)]
+                 [static_cast<int>(b)][static_cast<int>(pb)];
   }
 
-  Entry table_[kOps][kReps][kPrecs][kReps][kPrecs];
+  Entry table_[kBackends][kOps][kReps][kPrecs][kReps][kPrecs];
   std::vector<const Entry*> order_;  ///< registration order for snapshots
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "linalg/backend.hpp"
 #include "lowrank/compression.hpp"
 #include "ordering/ordering.hpp"
 #include "symbolic/amalgamation.hpp"
@@ -247,6 +248,16 @@ struct SolverOptions {
   /// in fp64 while the long tail of small tiles takes the memory win.
   /// Ignored when precision == Fp64.
   index_t mixed_rank_threshold = -1;
+
+  /// Kernel backend for the la:: BLAS layer (default Auto; DESIGN.md §14).
+  /// Auto resolves through CPUID to the Native backend's best compiled-in
+  /// ISA tier; Reference forces the portable loop nests (the correctness
+  /// anchor); Native forces the packed engine. All backends produce
+  /// bit-identical factors, so this is a pure performance/debugging dial.
+  /// The BLR_BACKEND environment variable (auto|reference|native) overrides
+  /// this field without recompiling or changing code. Read by factorize(),
+  /// which selects the process-global backend for the whole run.
+  la::BackendChoice backend = la::BackendChoice::Auto;
 
   /// Batched kernel execution (default Off). PerSupernode groups each
   /// supernode's same-key kernel calls (compressions, panel solves, update

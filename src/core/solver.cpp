@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "core/kernel_batch.hpp"
 #include "core/kernels_dispatch.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
 #include "sparse/graph.hpp"
 
@@ -172,6 +173,17 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   stats_.deadline_seconds = opts_.deadline_ms / 1e3;
   stats_.deadline_margin = 0;
   stats_.resource_rungs = 0;
+
+  // Select the kernel backend for this run (process-global: every la:: gemm,
+  // trsm and syrk below dispatches through it, and the dispatch registry
+  // counts under its table slice). Resolution order: BLR_BACKEND env, then
+  // opts_.backend, with Auto going through CPUID detection. Throws
+  // blr::Error on an unrecognized env value — before any numeric work.
+  la::set_backend(la::resolve_backend(opts_.backend));
+  stats_.backend = la::backend_name(la::current_backend());
+  stats_.backend_isa = la::current_backend() == la::Backend::Native
+                           ? la::native_isa_name(la::native_isa())
+                           : "";
 
   // The governor spans the whole call — every recovery attempt shares one
   // budget and one deadline clock. Disarmed on every exit path so a failed
@@ -429,7 +441,13 @@ void Solver::print_summary(std::ostream& os) const {
   }
   os << "\n"
      << "  batching      : " << batching_name(opts_.batching) << "\n"
-     << "  dataflow      : " << dataflow_name(opts_.dataflow) << "\n";
+     << "  dataflow      : " << dataflow_name(opts_.dataflow) << "\n"
+     << "  backend       : " << la::backend_choice_name(opts_.backend);
+  if (!stats_.backend.empty()) {
+    os << " -> " << stats_.backend;
+    if (!stats_.backend_isa.empty()) os << " (" << stats_.backend_isa << ")";
+  }
+  os << "\n";
   if (!analyzed()) {
     os << "  (not analyzed yet)\n";
     return;
@@ -503,7 +521,8 @@ void Solver::print_summary(std::ostream& os) const {
   if (!stats_.dispatch.empty()) {
     os << "  kernels       :\n";
     for (const DispatchCount& d : stats_.dispatch) {
-      os << "    " << d.kernel << ": " << d.calls << " calls, "
+      os << "    " << d.kernel << "@" << d.backend << ": " << d.calls
+         << " calls, "
          << static_cast<double>(d.bytes) / 1e6 << " MB, " << d.seconds
          << " s";
       if (d.batched_calls > 0) {

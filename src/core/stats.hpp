@@ -14,6 +14,7 @@ namespace blr::core {
 /// factorization, how many operand bytes it touched, and its wall time.
 struct DispatchCount {
   std::string kernel;       ///< e.g. "gemm[lr,ge]", "getrf[ge]"
+  std::string backend;      ///< la::Backend the calls ran under ("reference"/"native")
   /// Total logical calls, eager + batched: a batch of N counts N here, so
   /// the kernel table is comparable across batching=Off/PerSupernode.
   std::uint64_t calls = 0;
@@ -111,6 +112,12 @@ struct SolverStats {
   std::size_t factors_peak_bytes = 0;
   /// Peak bytes over all tracked categories.
   std::size_t total_peak_bytes = 0;
+
+  /// Kernel backend the factorization ran under ("reference"/"native") and,
+  /// for Native, the CPUID-selected ISA tier ("portable"/"avx2"/"avx512";
+  /// empty otherwise). DESIGN.md §14.
+  std::string backend;
+  std::string backend_isa;
 
   index_t num_lowrank_blocks = 0;
   index_t num_dense_blocks = 0;

@@ -4,9 +4,17 @@
 #include <atomic>
 #include <new>
 
+#include "linalg/backend.hpp"
+#include "linalg/kernels_isa.hpp"
+
 namespace blr::la {
 
 namespace {
+
+using detail::kKC;
+using detail::kMC;
+using detail::MicroTile;
+using detail::round_up;
 
 /// Scale C by beta (handles beta == 0 without reading C).
 template <typename T>
@@ -19,30 +27,42 @@ void scale_matrix(T beta, MatView<T> c) {
   for (index_t j = 0; j < c.cols; ++j) scal(c.rows, beta, c.col(j));
 }
 
-// C += alpha * A * B, cache-blocked over k.
+// ---- Loop-nest gemm (the Reference backend, and the small-case path) -----
+//
+// All four nests follow ONE canonical per-element accumulation order —
+// ascending k, the alpha factor folded into the B term, partial sums
+// accumulated straight into C — which is exactly the order the packed
+// microkernel reproduces over its zero-padded panels. No term may be
+// skipped on a zero operand: C(i,j) += a*0 can flip the sign bit of a -0.0,
+// so a skipping nest would not be bit-identical to the non-skipping packed
+// path. This shared order is the backend memcmp contract (backend.hpp).
+
+// C += alpha * A * B, cache-blocked over k (blocking only reorders the
+// store/load boundary, not the per-element sum order).
 template <typename T>
 void gemm_nn(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
-  constexpr index_t kb = 256;
-  for (index_t k0 = 0; k0 < a.cols; k0 += kb) {
-    const index_t kend = std::min(k0 + kb, a.cols);
+  for (index_t k0 = 0; k0 < a.cols; k0 += kKC) {
+    const index_t kend = std::min(k0 + kKC, a.cols);
     for (index_t j = 0; j < c.cols; ++j) {
       T* cj = c.col(j);
       for (index_t k = k0; k < kend; ++k) {
         const T bkj = alpha * b(k, j);
-        if (bkj == T(0)) continue;
         axpy(c.rows, bkj, a.col(k), cj);
       }
     }
   }
 }
 
-// C += alpha * Aᵗ * B (dot-product formulation; A, B columns contiguous).
+// C += alpha * Aᵗ * B (A, B columns contiguous).
 template <typename T>
 void gemm_tn(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
   for (index_t j = 0; j < c.cols; ++j) {
     const T* bj = b.col(j);
     for (index_t i = 0; i < c.rows; ++i) {
-      c(i, j) += alpha * dot(a.rows, a.col(i), bj);
+      const T* ai = a.col(i);  // column i of A = row i of Aᵗ
+      T s = c(i, j);
+      for (index_t k = 0; k < a.rows; ++k) s += ai[k] * (alpha * bj[k]);
+      c(i, j) = s;
     }
   }
 }
@@ -54,7 +74,6 @@ void gemm_nt(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
     T* cj = c.col(j);
     for (index_t k = 0; k < a.cols; ++k) {
       const T bjk = alpha * b(j, k);
-      if (bjk == T(0)) continue;
       axpy(c.rows, bjk, a.col(k), cj);
     }
   }
@@ -65,47 +84,37 @@ template <typename T>
 void gemm_tt(T alpha, ConstView<T> a, ConstView<T> b, MatView<T> c) {
   for (index_t j = 0; j < c.cols; ++j) {
     for (index_t i = 0; i < c.rows; ++i) {
-      T s = T(0);
       const T* ai = a.col(i);  // column i of A = row i of Aᵗ
-      for (index_t k = 0; k < a.rows; ++k) s += ai[k] * b(j, k);
-      c(i, j) += alpha * s;
+      T s = c(i, j);
+      for (index_t k = 0; k < a.rows; ++k) s += ai[k] * (alpha * b(j, k));
+      c(i, j) = s;
     }
   }
 }
 
-// ---- Packed, register-blocked gemm ---------------------------------------
+/// Accumulate-form nest dispatch: C += alpha * op(A) * op(B).
+template <typename T>
+void gemm_nests(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+                ConstView<T> b, MatView<T> c) {
+  if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
+  else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
+  else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
+  else gemm_tt(alpha, a, b, c);
+}
+
+// ---- Packed gemm: packing + per-thread pack cache ------------------------
 //
 // BLIS-style structure: op(A) is packed into MR-row panels and op(B) into
 // NR-column panels (alpha folded in at pack time), then an MR×NR register
-// micro-tile walks the packed panels. K is blocked by kKC (matching the old
-// axpy nest's k-blocking, so the per-element accumulation order is the
+// micro-tile walks the packed panels. K is blocked by kKC (matching the
+// loop nests' k-blocking, so the per-element accumulation order is the
 // same), M by kMC to keep the active A block cache-resident; N is left
 // unblocked because BLR tiles are at most a few hundred columns wide. All
 // four transpose cases route through the one packed path — the transpose is
 // absorbed by the packing order, which always reads source columns
-// contiguously.
-
-constexpr index_t kKC = 256;  ///< k-block: packed B panel rows (== old axpy kb)
-constexpr index_t kMC = 128;  ///< m-block: rows of the resident packed A block
-
-template <typename T>
-struct MicroTile;  // MR×NR register block per element type
-template <>
-struct MicroTile<double> {
-  static constexpr index_t MR = 8;  // one AVX-512 lane (two AVX2 lanes)
-  static constexpr index_t NR = 4;
-};
-template <>
-struct MicroTile<float> {
-  static constexpr index_t MR = 16;
-  static constexpr index_t NR = 4;
-};
-
-constexpr index_t round_up(index_t x, index_t step) {
-  return ((x + step - 1) / step) * step;
-}
-
-// ---- Per-thread pack cache -----------------------------------------------
+// contiguously. The packing and the cache live here (one copy, baseline
+// flags); the microkernel walk is per-ISA (kernels_isa_body.inc), selected
+// at runtime through detail::native_kernels().
 
 std::atomic<std::uint64_t> g_pack_hits{0};
 std::atomic<std::uint64_t> g_pack_misses{0};
@@ -190,8 +199,6 @@ void trim_pack_cache() {
   if (cache.b.cap * sizeof(T) > kPackRetainBytes) cache.b.release();
 }
 
-// ---- Packing -------------------------------------------------------------
-
 /// Pack one mc×kc block of op(A) into MR-row panels: element (r, k) of
 /// panel p lives at p*kc*MR + k*MR + r. Rows past mc are zero-padded so the
 /// microkernel never branches on the row edge.
@@ -245,8 +252,9 @@ void pack_slab_b(ConstView<T> b, Trans trans, T alpha, index_t k0, index_t kc,
   }
 }
 
-/// Pack all of op(A) (m×kk), blocked kKC×kMC in the driver's loop order.
-/// Returns the cached image without re-packing on a batch-scope key hit.
+/// Pack all of op(A) (m×kk), blocked kKC×kMC in the microkernel walk's loop
+/// order. Returns the cached image without re-packing on a batch-scope key
+/// hit.
 template <typename T>
 const T* pack_a(PackBuffer<T>& buf, ConstView<T> a, Trans trans, index_t m,
                 index_t kk) {
@@ -275,7 +283,8 @@ const T* pack_a(PackBuffer<T>& buf, ConstView<T> a, Trans trans, index_t m,
   return buf.data;
 }
 
-/// Pack all of alpha*op(B) (kk×n), k-blocked in the driver's loop order.
+/// Pack all of alpha*op(B) (kk×n), k-blocked in the microkernel walk's loop
+/// order.
 template <typename T>
 const T* pack_b(PackBuffer<T>& buf, ConstView<T> b, Trans trans, T alpha,
                 index_t kk, index_t n) {
@@ -299,89 +308,6 @@ const T* pack_b(PackBuffer<T>& buf, ConstView<T> b, Trans trans, T alpha,
   return buf.data;
 }
 
-// ---- Microkernels --------------------------------------------------------
-
-/// Full MR×NR tile: accumulators start from C so splitting k into kKC blocks
-/// adds partial sums to C in the same order as the old k-blocked axpy nest.
-template <typename T, index_t MR, index_t NR>
-void ukr_full(index_t kc, const T* __restrict ap, const T* __restrict bp,
-              T* __restrict cpt, index_t ldc) {
-  T acc[NR][MR];
-  for (index_t j = 0; j < NR; ++j)
-    for (index_t i = 0; i < MR; ++i) acc[j][i] = cpt[j * ldc + i];
-  for (index_t k = 0; k < kc; ++k) {
-    const T* __restrict av = ap + k * MR;
-    const T* __restrict bv = bp + k * NR;
-    for (index_t j = 0; j < NR; ++j) {
-      const T bj = bv[j];
-      for (index_t i = 0; i < MR; ++i) acc[j][i] += av[i] * bj;
-    }
-  }
-  for (index_t j = 0; j < NR; ++j)
-    for (index_t i = 0; i < MR; ++i) cpt[j * ldc + i] = acc[j][i];
-}
-
-/// Edge tile (mr < MR and/or nr < NR): accumulate into a zero tile over the
-/// padded panels, then add the valid part to C.
-template <typename T, index_t MR, index_t NR>
-void ukr_edge(index_t kc, const T* ap, const T* bp, T* cpt, index_t ldc,
-              index_t mr, index_t nr) {
-  T acc[NR][MR] = {};
-  for (index_t k = 0; k < kc; ++k) {
-    const T* av = ap + k * MR;
-    const T* bv = bp + k * NR;
-    for (index_t j = 0; j < NR; ++j) {
-      const T bj = bv[j];
-      for (index_t i = 0; i < MR; ++i) acc[j][i] += av[i] * bj;
-    }
-  }
-  for (index_t j = 0; j < nr; ++j)
-    for (index_t i = 0; i < mr; ++i) cpt[j * ldc + i] += acc[j][i];
-}
-
-/// Blocked driver over the fully packed images: C += packedA · packedB.
-template <typename T>
-void gemm_packed(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
-                 ConstView<T> b, MatView<T> c) {
-  constexpr index_t MR = MicroTile<T>::MR;
-  constexpr index_t NR = MicroTile<T>::NR;
-  const index_t m = c.rows;
-  const index_t n = c.cols;
-  const index_t kk = (trans_a == Trans::No) ? a.cols : a.rows;
-
-  auto& cache = pack_cache<T>();
-  const T* ap = pack_a<T>(cache.a, a, trans_a, m, kk);
-  const T* bp = pack_b<T>(cache.b, b, trans_b, alpha, kk, n);
-
-  const std::size_t n_rounded = round_up(n, NR);
-  std::size_t a_off = 0;
-  std::size_t b_off = 0;
-  for (index_t pc = 0; pc < kk; pc += kKC) {
-    const index_t kc = std::min(kKC, kk - pc);
-    const T* bblock = bp + b_off;
-    for (index_t ic = 0; ic < m; ic += kMC) {
-      const index_t mc = std::min(kMC, m - ic);
-      const T* ablock = ap + a_off;
-      for (index_t j0 = 0; j0 < n; j0 += NR) {
-        const index_t nr = std::min(NR, n - j0);
-        const T* bpanel = bblock + static_cast<std::size_t>(j0 / NR) * kc * NR;
-        for (index_t i0 = 0; i0 < mc; i0 += MR) {
-          const index_t mr = std::min(MR, mc - i0);
-          const T* apanel =
-              ablock + static_cast<std::size_t>(i0 / MR) * kc * MR;
-          T* cpt = c.col(j0) + ic + i0;
-          if (mr == MR && nr == NR)
-            ukr_full<T, MR, NR>(kc, apanel, bpanel, cpt, c.ld);
-          else
-            ukr_edge<T, MR, NR>(kc, apanel, bpanel, cpt, c.ld, mr, nr);
-        }
-      }
-      a_off += static_cast<std::size_t>(round_up(mc, MR)) * kc;
-    }
-    b_off += static_cast<std::size_t>(kc) * n_rounded;
-  }
-}
-
 /// Packing pays for itself once there is enough arithmetic per packed
 /// element; tiny products (thin ranks, small tiles) stay on the loop nests.
 template <typename T>
@@ -389,6 +315,101 @@ bool use_packed(index_t m, index_t n, index_t kk) {
   return kk >= 4 && static_cast<double>(m) * static_cast<double>(n) *
                             static_cast<double>(kk) >=
                         16384.0;
+}
+
+// ---- Backend vtable ------------------------------------------------------
+//
+// The public gemm/trsm/syrk entry points validate, apply beta/alpha scaling
+// and early-out, then dispatch the remaining accumulate/substitute work
+// through the current backend's function table (one row per Backend value).
+// Adding a backend = appending a row; the callers never change.
+
+template <typename T>
+struct BackendVtable {
+  /// C += alpha * op(A) * op(B) (beta already applied).
+  void (*gemm)(Trans, Trans, T, ConstView<T>, ConstView<T>, MatView<T>);
+  /// Substitution only (alpha already applied to B).
+  void (*trsm)(Side, Uplo, Trans, Diag, ConstView<T>, MatView<T>);
+  /// C(triangle) += alpha * A·Aᵗ or Aᵗ·A (beta already applied).
+  void (*syrk)(Uplo, Trans, T, ConstView<T>, MatView<T>);
+};
+
+template <typename T>
+void isa_trsm(const detail::IsaKernels& k, Side side, Uplo uplo, Trans trans,
+              Diag diag, ConstView<T> a, MatView<T> b) {
+  k.template trsm<T>()(side == Side::Right ? 1 : 0,
+                       uplo == Uplo::Upper ? 1 : 0,
+                       trans == Trans::Yes ? 1 : 0,
+                       diag == Diag::Unit ? 1 : 0, a.data, a.ld, b.data, b.ld,
+                       b.rows, b.cols);
+}
+
+template <typename T>
+void isa_syrk(const detail::IsaKernels& k, Uplo uplo, Trans trans, T alpha,
+              ConstView<T> a, MatView<T> c) {
+  k.template syrk<T>()(uplo == Uplo::Upper ? 1 : 0,
+                       trans == Trans::Yes ? 1 : 0, alpha, a.data, a.ld,
+                       a.rows, a.cols, c.data, c.ld, c.rows);
+}
+
+// Reference backend: gemm is literally gemm_unpacked (the public loop-nest
+// entry, so tier-1 tests exercise it on every run); trsm/syrk are the
+// portable substitution/update bodies — the always-compiled baseline tier.
+
+template <typename T>
+void ref_gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+              ConstView<T> b, MatView<T> c) {
+  gemm_unpacked(trans_a, trans_b, alpha, a, b, T(1), c);
+}
+
+template <typename T>
+void ref_trsm(Side side, Uplo uplo, Trans trans, Diag diag, ConstView<T> a,
+              MatView<T> b) {
+  isa_trsm(detail::isa_portable(), side, uplo, trans, diag, a, b);
+}
+
+template <typename T>
+void ref_syrk(Uplo uplo, Trans trans, T alpha, ConstView<T> a, MatView<T> c) {
+  isa_syrk(detail::isa_portable(), uplo, trans, alpha, a, c);
+}
+
+// Native backend: the packed engine on the CPUID-selected ISA tier; tiny
+// products stay on the (shared, hence bit-identical) loop nests.
+
+template <typename T>
+void native_gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
+                 ConstView<T> b, MatView<T> c) {
+  const index_t kk = (trans_a == Trans::No) ? a.cols : a.rows;
+  if (!use_packed<T>(c.rows, c.cols, kk)) {
+    gemm_nests(trans_a, trans_b, alpha, a, b, c);
+    return;
+  }
+  auto& cache = pack_cache<T>();
+  const T* ap = pack_a<T>(cache.a, a, trans_a, c.rows, kk);
+  const T* bp = pack_b<T>(cache.b, b, trans_b, alpha, kk, c.cols);
+  detail::native_kernels().template gemm_packed<T>()(c.rows, c.cols, kk, ap,
+                                                     bp, c.data, c.ld);
+}
+
+template <typename T>
+void native_trsm(Side side, Uplo uplo, Trans trans, Diag diag, ConstView<T> a,
+                 MatView<T> b) {
+  isa_trsm(detail::native_kernels(), side, uplo, trans, diag, a, b);
+}
+
+template <typename T>
+void native_syrk(Uplo uplo, Trans trans, T alpha, ConstView<T> a,
+                 MatView<T> c) {
+  isa_syrk(detail::native_kernels(), uplo, trans, alpha, a, c);
+}
+
+template <typename T>
+const BackendVtable<T>& backend_vtable(Backend be) {
+  static const BackendVtable<T> table[static_cast<int>(Backend::kCount)] = {
+      {&ref_gemm<T>, &ref_trsm<T>, &ref_syrk<T>},           // Reference
+      {&native_gemm<T>, &native_trsm<T>, &native_syrk<T>},  // Native
+  };
+  return table[static_cast<int>(be)];
 }
 
 } // namespace
@@ -443,11 +464,7 @@ void gemm_unpacked(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
 
   scale_matrix(beta, c);
   if (alpha == T(0) || opa_cols == 0 || c.empty()) return;
-
-  if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
-  else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
-  else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
-  else gemm_tt(alpha, a, b, c);
+  gemm_nests(trans_a, trans_b, alpha, a, b, c);
 }
 
 template <typename T>
@@ -464,15 +481,7 @@ void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
 
   scale_matrix(beta, c);
   if (alpha == T(0) || opa_cols == 0 || c.empty()) return;
-
-  if (use_packed<T>(c.rows, c.cols, opa_cols)) {
-    gemm_packed(trans_a, trans_b, alpha, a, b, c);
-    return;
-  }
-  if (trans_a == Trans::No && trans_b == Trans::No) gemm_nn(alpha, a, b, c);
-  else if (trans_a == Trans::Yes && trans_b == Trans::No) gemm_tn(alpha, a, b, c);
-  else if (trans_a == Trans::No && trans_b == Trans::Yes) gemm_nt(alpha, a, b, c);
-  else gemm_tt(alpha, a, b, c);
+  backend_vtable<T>(current_backend()).gemm(trans_a, trans_b, alpha, a, b, c);
 }
 
 template <typename T>
@@ -482,81 +491,19 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha, ConstView<T> a,
   const index_t n = b.cols;
   if (side == Side::Left) assert(a.rows == m && a.cols == m);
   else assert(a.rows == n && a.cols == n);
+  (void)m;
+  (void)n;
 
   scale_matrix(alpha, b);
   if (b.empty()) return;
-  const bool unit = (diag == Diag::Unit);
-
-  if (side == Side::Left) {
-    if ((uplo == Uplo::Lower && trans == Trans::No) ||
-        (uplo == Uplo::Upper && trans == Trans::Yes)) {
-      // Forward substitution per column of B.
-      for (index_t j = 0; j < n; ++j) {
-        T* bj = b.col(j);
-        if (uplo == Uplo::Lower) {
-          for (index_t k = 0; k < m; ++k) {
-            if (!unit) bj[k] /= a(k, k);
-            const T bk = bj[k];
-            if (bk != T(0)) axpy(m - k - 1, -bk, a.col(k) + k + 1, bj + k + 1);
-          }
-        } else {  // Upper, Trans: Uᵗ is lower; Uᵗ(k, 0:k) = U(0:k, k)
-          for (index_t k = 0; k < m; ++k) {
-            bj[k] -= dot(k, a.col(k), bj);
-            if (!unit) bj[k] /= a(k, k);
-          }
-        }
-      }
-    } else {
-      // Backward substitution per column of B.
-      for (index_t j = 0; j < n; ++j) {
-        T* bj = b.col(j);
-        if (uplo == Uplo::Upper) {  // Upper, NoTrans
-          for (index_t k = m - 1; k >= 0; --k) {
-            if (!unit) bj[k] /= a(k, k);
-            const T bk = bj[k];
-            if (bk != T(0)) axpy(k, -bk, a.col(k), bj);
-          }
-        } else {  // Lower, Trans: Lᵗ upper; row k of Lᵗ beyond diag = L(k+1:m, k)
-          for (index_t k = m - 1; k >= 0; --k) {
-            bj[k] -= dot(m - k - 1, a.col(k) + k + 1, bj + k + 1);
-            if (!unit) bj[k] /= a(k, k);
-          }
-        }
-      }
-    }
-  } else {  // Side::Right — X * op(A) = B
-    if ((uplo == Uplo::Upper && trans == Trans::No) ||
-        (uplo == Uplo::Lower && trans == Trans::Yes)) {
-      // Forward over columns of B.
-      for (index_t j = 0; j < n; ++j) {
-        T* bj = b.col(j);
-        for (index_t k = 0; k < j; ++k) {
-          const T akj = (trans == Trans::No) ? a(k, j) : a(j, k);
-          if (akj != T(0)) axpy(m, -akj, b.col(k), bj);
-        }
-        if (!unit) scal(m, T(1) / a(j, j), bj);
-      }
-    } else {
-      // Backward over columns of B.
-      for (index_t j = n - 1; j >= 0; --j) {
-        T* bj = b.col(j);
-        for (index_t k = j + 1; k < n; ++k) {
-          const T akj = (trans == Trans::No) ? a(k, j) : a(j, k);
-          if (akj != T(0)) axpy(m, -akj, b.col(k), bj);
-        }
-        if (!unit) scal(m, T(1) / a(j, j), bj);
-      }
-    }
-  }
+  backend_vtable<T>(current_backend()).trsm(side, uplo, trans, diag, a, b);
 }
 
 template <typename T>
 void syrk(Uplo uplo, Trans trans, T alpha, ConstView<T> a, T beta, MatView<T> c) {
   const index_t n = c.rows;
   assert(c.cols == n);
-  const index_t k = (trans == Trans::No) ? a.cols : a.rows;
   assert(((trans == Trans::No) ? a.rows : a.cols) == n);
-  (void)k;
 
   // Scale the referenced triangle.
   for (index_t j = 0; j < n; ++j) {
@@ -565,28 +512,8 @@ void syrk(Uplo uplo, Trans trans, T alpha, ConstView<T> a, T beta, MatView<T> c)
     if (beta == T(0)) std::fill(c.col(j) + i0, c.col(j) + i1, T(0));
     else if (beta != T(1)) scal(i1 - i0, beta, c.col(j) + i0);
   }
-  if (alpha == T(0)) return;
-
-  if (trans == Trans::No) {
-    // C(triangle) += alpha * A * Aᵗ
-    for (index_t j = 0; j < n; ++j) {
-      for (index_t p = 0; p < a.cols; ++p) {
-        const T ajp = alpha * a(j, p);
-        if (ajp == T(0)) continue;
-        if (uplo == Uplo::Lower) axpy(n - j, ajp, a.col(p) + j, c.col(j) + j);
-        else axpy(j + 1, ajp, a.col(p), c.col(j));
-      }
-    }
-  } else {
-    // C(triangle) += alpha * Aᵗ * A
-    for (index_t j = 0; j < n; ++j) {
-      const index_t i0 = (uplo == Uplo::Lower) ? j : 0;
-      const index_t i1 = (uplo == Uplo::Lower) ? n : j + 1;
-      for (index_t i = i0; i < i1; ++i) {
-        c(i, j) += alpha * dot(a.rows, a.col(i), a.col(j));
-      }
-    }
-  }
+  if (alpha == T(0) || n == 0) return;
+  backend_vtable<T>(current_backend()).syrk(uplo, trans, alpha, a, c);
 }
 
 template <typename T>

@@ -15,16 +15,19 @@ enum class Uplo { Lower, Upper };
 enum class Diag { NonUnit, Unit };
 
 /// General matrix-matrix multiply: C = alpha * op(A) * op(B) + beta * C.
-/// Sequential. op(X) is X or Xᵗ according to the flags. Problems past a
-/// small size threshold run through the packed, register-blocked microkernel
-/// (all four transpose cases); tiny ones fall back to the plain loop nests.
+/// Sequential. op(X) is X or Xᵗ according to the flags. Dispatches through
+/// the selected kernel backend (backend.hpp): Reference runs the loop
+/// nests; Native routes problems past a small size threshold through the
+/// packed, register-blocked microkernel of the CPUID-selected ISA tier (all
+/// four transpose cases) and tiny ones through the same loop nests. Every
+/// backend produces bit-identical results.
 template <typename T>
 void gemm(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a, ConstView<T> b,
           T beta, MatView<T> c);
 
-/// The pre-packing gemm loop nests (axpy/dot formulations), kept as the
-/// reference implementation for correctness tests and as the perfsmoke
-/// baseline the packed path is measured against.
+/// The plain gemm loop nests — the Reference backend's implementation
+/// (la::gemm with backend Reference lands here), also used directly as the
+/// perfsmoke baseline the packed path is measured against.
 template <typename T>
 void gemm_unpacked(Trans trans_a, Trans trans_b, T alpha, ConstView<T> a,
                    ConstView<T> b, T beta, MatView<T> c);

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <type_traits>
+
+#include "common/types.hpp"
+#include "linalg/backend.hpp"
+
+namespace blr::la::detail {
+
+// ---- Packed-gemm blocking geometry ---------------------------------------
+//
+// Shared between the packing code (blas.cpp, baseline flags) and the per-ISA
+// microkernel translation units: both sides must agree on the panel layout.
+// Everything here is constexpr — no code is generated from this header, so
+// including it from an AVX-compiled TU cannot leak vector instructions into
+// the portable path through a shared (comdat) symbol.
+
+constexpr index_t kKC = 256;  ///< k-block: packed B panel rows (== the loop nests' k-blocking)
+constexpr index_t kMC = 128;  ///< m-block: rows of the resident packed A block
+
+template <typename T>
+struct MicroTile;  // MR×NR register block per element type
+template <>
+struct MicroTile<double> {
+  static constexpr index_t MR = 8;  // one AVX-512 lane (two AVX2 lanes)
+  static constexpr index_t NR = 4;
+};
+template <>
+struct MicroTile<float> {
+  static constexpr index_t MR = 16;
+  static constexpr index_t NR = 4;
+};
+
+constexpr index_t round_up(index_t x, index_t step) {
+  return ((x + step - 1) / step) * step;
+}
+
+// ---- Per-ISA kernel tables -----------------------------------------------
+//
+// One table per ISA tier of the Native backend. Each tier is one dedicated
+// translation unit compiling the same kernel bodies (kernels_isa_body.inc)
+// with that tier's arch flags; the bodies live in an anonymous namespace so
+// every tier gets its own internal-linkage copy — the linker can never
+// substitute one tier's code for another's. All tiers are built with
+// -ffp-contract=off and share one canonical per-element accumulation order
+// with the Reference loop nests, so results are bit-identical across tiers
+// and backends (the memcmp contract in backend.hpp).
+//
+// The signatures are raw-pointer C style on purpose: the ISA TUs must not
+// instantiate any inline function from shared headers (same comdat hazard).
+
+struct IsaKernels {
+  const char* name = nullptr;
+  NativeIsa isa = NativeIsa::Portable;
+
+  /// C += packedA · packedB over images laid out by pack_a/pack_b in
+  /// blas.cpp (kKC×kMC blocked, MR-row / NR-column zero-padded panels,
+  /// alpha folded into packedB).
+  void (*gemm_packed_d)(index_t m, index_t n, index_t kk, const double* ap,
+                        const double* bp, double* c, index_t ldc) = nullptr;
+  void (*gemm_packed_f)(index_t m, index_t n, index_t kk, const float* ap,
+                        const float* bp, float* c, index_t ldc) = nullptr;
+
+  /// Triangular substitution, alpha already applied to B by the caller.
+  /// Flags are 0/1 ints: side_right, upper, trans, unit. A is m×m (left) or
+  /// n×n (right); B is m×n.
+  void (*trsm_d)(int side_right, int upper, int trans, int unit,
+                 const double* a, index_t lda, double* b, index_t ldb,
+                 index_t m, index_t n) = nullptr;
+  void (*trsm_f)(int side_right, int upper, int trans, int unit,
+                 const float* a, index_t lda, float* b, index_t ldb, index_t m,
+                 index_t n) = nullptr;
+
+  /// C(triangle) += alpha * A·Aᵗ (trans == 0) or alpha * Aᵗ·A (trans == 1);
+  /// the caller has already scaled the triangle by beta. C is n×n.
+  void (*syrk_d)(int upper, int trans, double alpha, const double* a,
+                 index_t lda, index_t a_rows, index_t a_cols, double* c,
+                 index_t ldc, index_t n) = nullptr;
+  void (*syrk_f)(int upper, int trans, float alpha, const float* a,
+                 index_t lda, index_t a_rows, index_t a_cols, float* c,
+                 index_t ldc, index_t n) = nullptr;
+
+  template <typename T>
+  [[nodiscard]] auto gemm_packed() const {
+    if constexpr (std::is_same_v<T, double>) return gemm_packed_d;
+    else return gemm_packed_f;
+  }
+  template <typename T>
+  [[nodiscard]] auto trsm() const {
+    if constexpr (std::is_same_v<T, double>) return trsm_d;
+    else return trsm_f;
+  }
+  template <typename T>
+  [[nodiscard]] auto syrk() const {
+    if constexpr (std::is_same_v<T, double>) return syrk_d;
+    else return syrk_f;
+  }
+};
+
+/// The always-compiled baseline tier (no arch flags — runs anywhere the
+/// binary does). Also serves as the Reference backend's trsm/syrk body: it
+/// is literally the pre-backend portable code, moved.
+const IsaKernels& isa_portable();
+#if defined(BLR_HAVE_ISA_AVX2)
+const IsaKernels& isa_avx2();
+#endif
+#if defined(BLR_HAVE_ISA_AVX512)
+const IsaKernels& isa_avx512();
+#endif
+
+/// The tier selected by native_isa() for this process (backend.cpp).
+const IsaKernels& native_kernels();
+
+} // namespace blr::la::detail

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/prng.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/random.hpp"
@@ -130,12 +131,27 @@ TEST(Gemm, PackedPathStridedViews) {
             1e-10 * (1 + norm_fro(expected.cview())));
 }
 
+// The pack cache only operates under the Native backend — Reference never
+// packs — so these tests pin Native regardless of any BLR_BACKEND override
+// (the CI backend A/B stage runs the suite with it set).
+class PackCache : public ::testing::Test {
+protected:
+  void SetUp() override {
+    saved_ = la::current_backend();
+    la::set_backend(la::Backend::Native);
+  }
+  void TearDown() override { la::set_backend(saved_); }
+
+private:
+  la::Backend saved_ = la::Backend::Native;
+};
+
 // Regression: inside a PackBatchScope, a pointer+shape key match alone must
 // never serve a cached pack for memory the scope does not own. Mutating the
 // operand in place models the allocator recycling a freed kernel temporary
 // at the same address and shape between two batch entries — the old
 // pointer-keyed cache returned the previous entry's stale packed image.
-TEST(PackCache, UnregisteredOperandNeverReusesStaleImage) {
+TEST_F(PackCache, UnregisteredOperandNeverReusesStaleImage) {
   Prng rng(41);
   const index_t m = 32, n = 32, k = 32;  // above the packed-path threshold
   DMatrix a(m, k), b(k, n), c(m, n);
@@ -159,7 +175,7 @@ TEST(PackCache, UnregisteredOperandNeverReusesStaleImage) {
 
 // An operand registered as stable with the scope IS reused: the second gemm
 // sharing B skips B's repack (one cache hit) and still computes correctly.
-TEST(PackCache, StableOperandReusesPackAcrossCalls) {
+TEST_F(PackCache, StableOperandReusesPackAcrossCalls) {
   Prng rng(43);
   const index_t m = 32, n = 32, k = 32;
   DMatrix a1(m, k), a2(m, k), b(k, n), c1(m, n), c2(m, n);
@@ -189,7 +205,7 @@ TEST(PackCache, StableOperandReusesPackAcrossCalls) {
 // Pack buffers past the retention cap (8 MiB) are released when the
 // thread's outermost scope closes instead of living for the thread's
 // lifetime.
-TEST(PackCache, OversizedBuffersTrimmedAtScopeExit) {
+TEST_F(PackCache, OversizedBuffersTrimmedAtScopeExit) {
   Prng rng(47);
   const index_t m = 2048, n = 8, k = 600;  // packed A image ~9.8 MiB
   DMatrix a(m, k), b(k, n), c(m, n);
