@@ -6,12 +6,19 @@ which loses history. This script folds each green run into a rolling
 trajectory file — one summarized entry per run, newest last — so performance
 drift across commits is visible from the tree itself.
 
-Usage: scripts/bench_trajectory.py <bench_kernels.json> [<trajectory.json>]
+Usage: scripts/bench_trajectory.py <report.json> [<report2.json> ...]
+           [-o <trajectory.json>]
+
+Each report is identified by its keys — bench_kernels.json carries
+`packed_gemm`/`backends`/`batched_dispatch`, bench_refactorize.json carries
+`refactorize`/`solve_throughput` — and all reports given on one invocation
+fold into a single trajectory entry.
 
 The trajectory entry keeps only the headline numbers (packed-gemm speedups
-per size, batched-dispatch mean speedup) plus the commit and timestamp, so
-the file stays small no matter how many runs accumulate. The newest
-`MAX_RUNS` entries are retained.
+per size, batched-dispatch mean speedup, steady-state refactorize speedup
+per strategy, blocked-solve throughput per width) plus the commit and
+timestamp, so the file stays small no matter how many runs accumulate. The
+newest `MAX_RUNS` entries are retained.
 """
 
 import json
@@ -60,18 +67,47 @@ def summarize(report: dict) -> dict:
             sum(speedups) / len(speedups), 4
         )
         entry["batched_min_speedup"] = round(min(speedups), 4)
+    refac = report.get("refactorize", [])
+    if refac:
+        # bench_refactorize.json: first-step vs steady-state cost per
+        # strategy, plus how much of the steady pass ran off warm hints.
+        entry["refactorize_speedup"] = {
+            row["strategy"]: row["speedup"]
+            for row in refac if "strategy" in row
+        }
+        entry["refactorize_warm_hits"] = {
+            row["strategy"]: row.get("warm_hits", 0) + row.get("dense_skips", 0)
+            for row in refac if "strategy" in row
+        }
+    solves = report.get("solve_throughput", [])
+    if solves:
+        entry["solve_rhs_per_s"] = {
+            str(row["nrhs"]): row["rhs_per_s"]
+            for row in solves if "nrhs" in row
+        }
     return entry
 
 
 def main(argv: list) -> int:
-    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+    args = argv[1:]
+    if not args or args[0] in ("-h", "--help"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    report_path = Path(argv[1])
     repo = Path(__file__).resolve().parent.parent
-    traj_path = Path(argv[2]) if len(argv) > 2 else repo / "BENCH_trajectory.json"
+    traj_path = repo / "BENCH_trajectory.json"
+    report_paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "-o":
+            if i + 1 >= len(args):
+                print("bench_trajectory: -o needs a path", file=sys.stderr)
+                return 2
+            traj_path = Path(args[i + 1])
+            i += 2
+        else:
+            report_paths.append(Path(args[i]))
+            i += 1
 
-    report = json.loads(report_path.read_text())
     runs = []
     if traj_path.exists():
         try:
@@ -81,7 +117,9 @@ def main(argv: list) -> int:
                   file=sys.stderr)
             runs = []
 
-    entry = summarize(report)
+    entry = {}
+    for report_path in report_paths:
+        entry.update(summarize(json.loads(report_path.read_text())))
     entry["commit"] = git_head(repo)
     entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     runs.append(entry)

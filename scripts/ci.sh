@@ -20,7 +20,9 @@ JOBS="$(nproc)"
 # label subsets: ASan/UBSan take the whole suite (including the `resource`
 # label, whose soft-failure paths are exactly where leaks would hide); TSan
 # (the slowest) takes the concurrency-sensitive suites — the engine + fault +
-# dag + resource labels and the scheduler/determinism tests written for it.
+# dag + resource + session labels (sessions coalesce solves across threads
+# and race refactorize against them) and the scheduler/determinism tests
+# written for it.
 configure_and_build() { # <dir> <sanitize> [extra cmake args...]
   local dir="$1" sanitize="$2"
   shift 2
@@ -48,7 +50,7 @@ run_ubsan() {
 run_tsan() {
   configure_and_build build-ci-tsan thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -L 'engine|fault|dag|resource'
+        -L 'engine|fault|dag|resource|session'
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
         -R 'thread_pool|ParallelDeterminism|Trace'
 }
@@ -81,21 +83,26 @@ run_docs() {
   echo "ci[docs]: every SolverOptions field is documented"
 }
 
-# Performance smoke: a Release build of bench_kernels run in --quick mode.
-# The bench itself enforces the floor — packed gemm must not be >10% slower
-# than the old loop nests at n=k=256, and the Batching::PerSupernode
-# end-to-end run must actually form batches — and exits nonzero otherwise.
-# The JSON report is copied over the committed BENCH_kernels.json so the
-# last green perfsmoke numbers travel with the tree, and summarized into the
-# rolling BENCH_trajectory.json so drift across commits stays visible.
+# Performance smoke: Release builds of bench_kernels and bench_refactorize
+# run in --quick mode. Each bench enforces its own floor — packed gemm must
+# not be >10% slower than the old loop nests at n=k=256, the
+# Batching::PerSupernode end-to-end run must actually form batches, and the
+# re-factorization trajectory must actually reuse the plan/buffers/rank
+# hints — and exits nonzero otherwise. The JSON reports are copied over the
+# committed BENCH_*.json so the last green perfsmoke numbers travel with the
+# tree, and both are summarized into one entry of the rolling
+# BENCH_trajectory.json so drift across commits stays visible.
 run_perfsmoke() {
   cmake -B build-ci-perfsmoke -S . "${GENERATOR[@]}" \
         -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-ci-perfsmoke -j "$JOBS" --target bench_kernels
+  cmake --build build-ci-perfsmoke -j "$JOBS" \
+        --target bench_kernels --target bench_refactorize
   (cd build-ci-perfsmoke && ./bench/bench_kernels --quick)
+  (cd build-ci-perfsmoke && ./bench/bench_refactorize --quick)
   cp build-ci-perfsmoke/bench_kernels.json BENCH_kernels.json
-  python3 scripts/bench_trajectory.py BENCH_kernels.json
-  echo "ci[perfsmoke]: packed gemm and batched execution within bounds"
+  cp build-ci-perfsmoke/bench_refactorize.json BENCH_refactorize.json
+  python3 scripts/bench_trajectory.py BENCH_kernels.json BENCH_refactorize.json
+  echo "ci[perfsmoke]: packed gemm, batching and refactorize reuse within bounds"
 }
 
 # Backend A/B: the full tier-1 suite twice against ONE Debug build — once

@@ -11,6 +11,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/refinement.hpp"
+#include "core/session.hpp"
 #include "core/solver.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/random.hpp"

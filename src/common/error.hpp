@@ -28,6 +28,7 @@ enum class FailureKind {
   NonFiniteBlock,     ///< NaN/Inf in an assembled (pre-factorization) block
   NonFinitePanel,     ///< NaN/Inf in a factored panel (post-factorization)
   CompressionFailure, ///< a low-rank compression failed (or was injected to)
+  NotFactorized,      ///< solve/refine requested but no successful factorization is held
 };
 
 const char* failure_kind_name(FailureKind k);
@@ -128,6 +129,7 @@ inline const char* failure_kind_name(FailureKind k) {
     case FailureKind::NonFiniteBlock: return "non-finite-block";
     case FailureKind::NonFinitePanel: return "non-finite-panel";
     case FailureKind::CompressionFailure: return "compression-failure";
+    case FailureKind::NotFactorized: return "not-factorized";
   }
   return "?";
 }

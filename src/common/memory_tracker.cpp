@@ -62,8 +62,18 @@ void MemoryTracker::allocate(MemCategory cat, std::size_t bytes) {
 }
 
 void MemoryTracker::release(MemCategory cat, std::size_t bytes) {
-  current_[static_cast<int>(cat)].fetch_sub(bytes, std::memory_order_relaxed);
-  total_.fetch_sub(bytes, std::memory_order_relaxed);
+  // Saturating subtraction: storage can legitimately outlive a reset() (a
+  // Session serving the previous pass's factors, a cross-pass buffer pool),
+  // and its eventual release must not wrap the freshly-zeroed counters into
+  // huge totals that would trip every budget check afterwards.
+  const auto sub_clamped = [](std::atomic<std::size_t>& a, std::size_t b) {
+    std::size_t cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur > b ? cur - b : 0,
+                                    std::memory_order_relaxed)) {
+    }
+  };
+  sub_clamped(current_[static_cast<int>(cat)], bytes);
+  sub_clamped(total_, bytes);
 }
 
 std::size_t MemoryTracker::current(MemCategory cat) const {

@@ -193,7 +193,14 @@ void k_lr2ge(KernelCtx& ctx) {
 }
 
 void k_compress(KernelCtx& ctx) {
-  ctx.out_lr = lr::compress(ctx.kind, ctx.in, ctx.tolerance, ctx.max_rank);
+  if (ctx.warm_hint >= 0) {
+    auto wr = lr::compress_warm(ctx.kind, ctx.in, ctx.tolerance, ctx.max_rank,
+                                ctx.warm_hint);
+    ctx.out_lr = std::move(wr.lr);
+    ctx.warm_grew = wr.grew;
+  } else {
+    ctx.out_lr = lr::compress(ctx.kind, ctx.in, ctx.tolerance, ctx.max_rank);
+  }
 }
 
 // ---- fp32 promotion wrappers (DESIGN.md §10) -----------------------------
@@ -575,6 +582,21 @@ std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
   ctx.max_rank = max_rank;
   KernelDispatch::instance().run(KernelOp::Compress, Rep::Dense, Prec::Fp64,
                                  Rep::None, Prec::Fp64, ctx);
+  return std::move(ctx.out_lr);
+}
+
+std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
+                                     real_t tol, index_t max_rank,
+                                     index_t rank_guess, bool* grew) {
+  KernelCtx ctx;
+  ctx.in = a;
+  ctx.kind = kind;
+  ctx.tolerance = tol;
+  ctx.max_rank = max_rank;
+  ctx.warm_hint = rank_guess;
+  KernelDispatch::instance().run(KernelOp::Compress, Rep::Dense, Prec::Fp64,
+                                 Rep::None, Prec::Fp64, ctx);
+  if (grew != nullptr) *grew = ctx.warm_grew;
   return std::move(ctx.out_lr);
 }
 

@@ -69,6 +69,7 @@ struct KernelCtx {
   lr::CompressionKind kind = lr::CompressionKind::Rrqr;
   real_t tolerance = 0;
   index_t max_rank = -1;        ///< compression rank cap (Compress)
+  index_t warm_hint = -1;       ///< >=0: warm-start rank guess (Compress)
   real_t pivot_cutoff = 0;      ///< >0 selects static pivoting (Getrf)
   MemCategory out_cat = MemCategory::Workspace;  ///< category of `out`
   // Outputs.
@@ -76,6 +77,7 @@ struct KernelCtx {
   std::optional<lr::LrMatrix> out_lr;  ///< compression result (Compress)
   index_t info = 0;             ///< LAPACK-style status (Getrf/Potrf)
   index_t replaced = 0;         ///< static-pivot replacements (Getrf)
+  bool warm_grew = false;       ///< warm guess failed verify, full retry ran
 };
 
 using KernelFn = void (*)(KernelCtx&);
@@ -218,6 +220,14 @@ void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
 /// the tolerance is unreachable within max_rank.
 std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
                                      real_t tol, index_t max_rank);
+
+/// Warm-started variant: seeds the kernel with `rank_guess` (the rank this
+/// block reached in the previous numeric pass, plus slack). Verify-and-grow
+/// semantics per lr::compress_warm; `*grew` (optional) reports whether the
+/// guess failed verification and the full-cap path ran.
+std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
+                                     real_t tol, index_t max_rank,
+                                     index_t rank_guess, bool* grew);
 
 } // namespace dispatch
 

@@ -55,8 +55,8 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
                              const ordering::Ordering& ord,
                              const symbolic::SymbolicFactor& sf,
                              const SolverOptions& opts, bool llt,
-                             ResourceGovernor* governor)
-    : ord_(ord), sf_(sf), opts_(opts), llt_(llt),
+                             ResourceGovernor* governor, Reuse reuse)
+    : ord_(ord), sf_(sf), opts_(opts), llt_(llt), reuse_(reuse),
       data_(static_cast<std::size_t>(sf.num_cblks())),
       locks_(static_cast<std::size_t>(sf.num_cblks())),
       deps_(static_cast<std::size_t>(sf.num_cblks())), gov_(governor) {
@@ -87,6 +87,16 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
   pctx_.precision = opts_.precision;
   pctx_.mixed_rank_threshold = opts_.mixed_rank_threshold;
   pctx_.compression_site = [this](index_t k) { maybe_fail_compression(k); };
+  // Warm-start wiring (re-factorization only; reuse_ is empty on cold runs).
+  // A prebuilt DAG skeleton for the other factorization flavor is dropped
+  // here rather than trusted — the recovery ladder can flip LLᵗ → LU
+  // mid-call, and the address spaces differ.
+  pctx_.warm = opts_.warm_start ? reuse_.ranks : nullptr;
+  pctx_.warm_slack = opts_.warm_rank_slack;
+  pctx_.warm_dense_skip = opts_.warm_dense_skip;
+  pctx_.warm_counters = &warm_counters_;
+  if (reuse_.dag != nullptr && reuse_.dag->llt() != llt_) reuse_.dag = nullptr;
+  if (!opts_.reuse_buffers) reuse_.buffers = nullptr;
   ap_ = a.permuted(ord_.perm);
   if (!llt_) apt_ = ap_.transposed();
   input_track_ = TrackedAlloc(
@@ -258,7 +268,13 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
 
   std::vector<la::DMatrix> scratch;
   scratch.reserve(c.bloks.size());
-  for (const auto& b : c.bloks) scratch.emplace_back(b.height(), w);
+  for (const auto& b : c.bloks) {
+    // On a re-factorization the previous pass's retired factor buffers are
+    // recycled through the pool — same shapes, so steady state is all hits.
+    scratch.push_back(reuse_.buffers != nullptr
+                          ? reuse_.buffers->acquire(b.height(), w)
+                          : la::DMatrix(b.height(), w));
+  }
 
   const auto& colptr = src.colptr();
   const auto& rowind = src.rowind();
@@ -282,9 +298,11 @@ void NumericFactor::gather_panel(index_t k, const sparse::CscMatrix& src,
   // The policy decides each tile's representation (Minimal-Memory and
   // Adaptive compress here; Dense and Just-In-Time keep the gathered dense).
   panel.reserve(c.bloks.size());
+  const bool upper = !fill_diag;  // U-panel gathers come from the transpose
   for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
     lr::Tile t =
-        policy_->assemble(k, std::move(scratch[idx]),
+        policy_->assemble(k, BlockSite{static_cast<index_t>(idx), upper},
+                          std::move(scratch[idx]),
                           compressible(k, c.bloks[idx]), pctx_, cd.arena);
     t.advance(lr::TileState::Assembled);
     if (t.is_lowrank()) t.advance(lr::TileState::Compressed);
@@ -297,7 +315,10 @@ void NumericFactor::assemble_cblk(index_t k) {
   maybe_inject_alloc_fail(k);
   const symbolic::Cblk& c = sf_.cblk(k);
   CblkData& cd = data_[static_cast<std::size_t>(k)];
-  cd.diag = lr::Tile::make_dense(c.width(), c.width(), cd.arena);
+  cd.diag = reuse_.buffers != nullptr
+                ? lr::Tile::from_dense(
+                      reuse_.buffers->acquire(c.width(), c.width()), cd.arena)
+                : lr::Tile::make_dense(c.width(), c.width(), cd.arena);
   gather_panel(k, ap_, cd.lpanel, /*fill_diag=*/true);
   if (!llt_) gather_panel(k, apt_, cd.upanel, /*fill_diag=*/false);
   if (opts_.fault.kind == FaultInjection::Kind::PoisonBlock &&
@@ -494,20 +515,28 @@ void NumericFactor::factorize_left_looking() {
 
 void NumericFactor::factorize_dag(ThreadPool* pool) {
   pool_ = pool;
-  dag_ = std::make_unique<TaskGraph>(TaskGraph::build(sf_, llt_));
-  epochs_ = std::make_unique<EpochGate>(dag_->num_addrs());
+  // A Solver-cached skeleton (same plan, same llt flavor) skips the rebuild;
+  // the graph is symbolic-only and execute() is const, so sharing one across
+  // numeric passes is free of aliasing.
+  if (reuse_.dag != nullptr) {
+    dagp_ = reuse_.dag;
+  } else {
+    dag_ = std::make_unique<TaskGraph>(TaskGraph::build(sf_, llt_));
+    dagp_ = dag_.get();
+  }
+  epochs_ = std::make_unique<EpochGate>(dagp_->num_addrs());
   dag_slots_.clear();
-  dag_slots_.resize(dag_->num_updates());
+  dag_slots_.resize(dagp_->num_updates());
   dag_stats_ = DagStats{};
-  dag_stats_.tasks = dag_->num_tasks();
-  dag_stats_.edges = dag_->num_edges();
-  dag_stats_.critical_path = dag_->critical_path();
+  dag_stats_.tasks = dagp_->num_tasks();
+  dag_stats_.edges = dagp_->num_edges();
+  dag_stats_.critical_path = dagp_->critical_path();
 
   const auto& prio = sf_.critical_priorities();
-  const TaskGraph::RunStats rs = dag_->execute(
+  const TaskGraph::RunStats rs = dagp_->execute(
       pool, [this](std::uint32_t id) { return run_dag_task(id); },
       [this, &prio](std::uint32_t id) {
-        return prio[static_cast<std::size_t>(dag_->task(id).k)];
+        return prio[static_cast<std::size_t>(dagp_->task(id).k)];
       });
   dag_stats_.executed = rs.executed;
   dag_stats_.ready_peak = rs.ready_peak;
@@ -518,6 +547,7 @@ void NumericFactor::factorize_dag(ThreadPool* pool) {
   dag_slots_.clear();
   dag_slots_.shrink_to_fit();
   dag_.reset();
+  dagp_ = nullptr;
   epochs_.reset();
   // The DAG assembles lazily; the permuted input can go only now.
   ap_ = sparse::CscMatrix();
@@ -528,7 +558,7 @@ void NumericFactor::factorize_dag(ThreadPool* pool) {
 
 bool NumericFactor::run_dag_task(std::uint32_t id) {
   if (failed_.load(std::memory_order_relaxed)) return false;
-  const DagTask& t = dag_->task(id);
+  const DagTask& t = dagp_->task(id);
   try {
     poll_deadline(t.k);
     switch (t.kind) {
@@ -557,15 +587,15 @@ bool NumericFactor::run_dag_task(std::uint32_t id) {
 void NumericFactor::dag_assemble(const DagTask& t) {
   assemble_cblk(t.k);
   const index_t nb = static_cast<index_t>(sf_.cblk(t.k).bloks.size());
-  epochs_->advance(dag_->diag_addr(t.k), EpochGate::kUnassembled,
+  epochs_->advance(dagp_->diag_addr(t.k), EpochGate::kUnassembled,
                    EpochGate::kAssembled);
   for (index_t i = 0; i < nb; ++i) {
-    epochs_->advance(dag_->panel_addr(t.k, false, i), EpochGate::kUnassembled,
+    epochs_->advance(dagp_->panel_addr(t.k, false, i), EpochGate::kUnassembled,
                      EpochGate::kAssembled);
   }
   if (!llt_) {
     for (index_t i = 0; i < nb; ++i) {
-      epochs_->advance(dag_->panel_addr(t.k, true, i), EpochGate::kUnassembled,
+      epochs_->advance(dagp_->panel_addr(t.k, true, i), EpochGate::kUnassembled,
                        EpochGate::kAssembled);
     }
   }
@@ -575,7 +605,7 @@ void NumericFactor::dag_factor(const DagTask& t) {
   const index_t k = t.k;
   CblkData& cd = data_[static_cast<std::size_t>(k)];
   const double t0 = opts_.collect_trace ? trace_clock_.elapsed() : 0.0;
-  epochs_->expect(dag_->diag_addr(k), EpochGate::kAssembled);
+  epochs_->expect(dagp_->diag_addr(k), EpochGate::kAssembled);
   maybe_skew_clock(k);
   poll_deadline(k);
 
@@ -609,7 +639,7 @@ void NumericFactor::dag_factor(const DagTask& t) {
   }
   cd.diag.advance(lr::TileState::Factored);
   cd.eliminated = true;
-  epochs_->advance(dag_->diag_addr(k), EpochGate::kAssembled,
+  epochs_->advance(dagp_->diag_addr(k), EpochGate::kAssembled,
                    EpochGate::kFactored);
   if (opts_.collect_trace) {
     // One event per supernode, anchored at its diagonal factorization (the
@@ -623,7 +653,7 @@ void NumericFactor::dag_factor(const DagTask& t) {
 }
 
 void NumericFactor::dag_compress(const DagTask& t) {
-  const std::uint64_t addr = dag_->panel_addr(t.k, t.upper, t.bi);
+  const std::uint64_t addr = dagp_->panel_addr(t.k, t.upper, t.bi);
   epochs_->expect(addr, EpochGate::kAssembled);
   if (opts_.accumulate_updates) flush_accumulator(t.k, t.upper, t.bi);
   CblkData& cd = data_[static_cast<std::size_t>(t.k)];
@@ -634,17 +664,19 @@ void NumericFactor::dag_compress(const DagTask& t) {
     // Per-task batches are width-1, but the kernels still route through
     // run_batch so batching counters and the pack cache stay engaged.
     KernelBatch batch(nullptr);
-    policy_->at_elimination(t.k, blk, compressible(t.k, sb), pctx_, &batch);
+    policy_->at_elimination(t.k, BlockSite{t.bi, t.upper}, blk,
+                            compressible(t.k, sb), pctx_, &batch);
     batch.execute();
   } else {
-    policy_->at_elimination(t.k, blk, compressible(t.k, sb), pctx_, nullptr);
+    policy_->at_elimination(t.k, BlockSite{t.bi, t.upper}, blk,
+                            compressible(t.k, sb), pctx_, nullptr);
   }
   epochs_->advance(addr, EpochGate::kAssembled, EpochGate::kEliminating);
 }
 
 void NumericFactor::dag_trsm(const DagTask& t) {
-  const std::uint64_t addr = dag_->panel_addr(t.k, t.upper, t.bi);
-  epochs_->expect(dag_->diag_addr(t.k), EpochGate::kFactored);
+  const std::uint64_t addr = dagp_->panel_addr(t.k, t.upper, t.bi);
+  epochs_->expect(dagp_->diag_addr(t.k), EpochGate::kFactored);
   epochs_->expect(addr, EpochGate::kEliminating);
   CblkData& cd = data_[static_cast<std::size_t>(t.k)];
   lr::Tile& blk =
@@ -682,9 +714,9 @@ void NumericFactor::dag_product(const DagTask& t) {
   const lr::Tile* a = &cd.lpanel[static_cast<std::size_t>(t.bi)];
   const lr::Tile* b = llt_ ? &cd.lpanel[static_cast<std::size_t>(t.bj)]
                            : &cd.upanel[static_cast<std::size_t>(t.bj)];
-  epochs_->expect(dag_->panel_addr(t.k, false, t.bi), EpochGate::kFactored);
-  epochs_->expect(llt_ ? dag_->panel_addr(t.k, false, t.bj)
-                       : dag_->panel_addr(t.k, true, t.bj),
+  epochs_->expect(dagp_->panel_addr(t.k, false, t.bi), EpochGate::kFactored);
+  epochs_->expect(llt_ ? dagp_->panel_addr(t.k, false, t.bj)
+                       : dagp_->panel_addr(t.k, true, t.bj),
                   EpochGate::kFactored);
 
   auto slot = std::make_unique<DagUpdateSlot>();
@@ -726,8 +758,8 @@ void NumericFactor::dag_apply(const DagTask& t) {
   if (!slot) throw Error("dag: apply task ran without its product");
   const UpdateLoc& loc = slot->loc;
   const std::uint64_t taddr =
-      loc.target_diag ? dag_->diag_addr(loc.tcblk)
-                      : dag_->panel_addr(loc.tcblk, loc.target_upper,
+      loc.target_diag ? dagp_->diag_addr(loc.tcblk)
+                      : dagp_->panel_addr(loc.tcblk, loc.target_upper,
                                          loc.tb_idx);
   // Updates may only land on assembled, not-yet-eliminating tiles — the
   // runtime-checked half of the Tile state contract at DAG granularity.
@@ -994,17 +1026,17 @@ void NumericFactor::factor_panel(index_t k) {
       // of dispatching them eagerly; the completions install the results in
       // the same order the eager loop would.
       KernelBatch compress_batch(pool_);
-      const auto hook_panel = [&](std::vector<lr::Tile>& panel) {
+      const auto hook_panel = [&](std::vector<lr::Tile>& panel, bool upper) {
         for (std::size_t idx = 0; idx < panel.size(); ++idx) {
           // Early exit at panel granularity once a sibling has failed.
           if (failed_.load(std::memory_order_relaxed)) return;
-          policy_->at_elimination(k, panel[idx],
-                                  compressible(k, c.bloks[idx]), pctx_,
-                                  batched ? &compress_batch : nullptr);
+          policy_->at_elimination(k, BlockSite{static_cast<index_t>(idx), upper},
+                                  panel[idx], compressible(k, c.bloks[idx]),
+                                  pctx_, batched ? &compress_batch : nullptr);
         }
       };
-      hook_panel(cd.lpanel);
-      if (!llt_) hook_panel(cd.upanel);
+      hook_panel(cd.lpanel, /*upper=*/false);
+      if (!llt_) hook_panel(cd.upanel, /*upper=*/true);
       compress_batch.execute();
       if (failed_.load(std::memory_order_relaxed)) return;
     }
@@ -1419,6 +1451,40 @@ double NumericFactor::dense_block_fraction() const {
     }
   }
   return comp > 0 ? static_cast<double>(dense) / static_cast<double>(comp) : 0.0;
+}
+
+void NumericFactor::harvest_ranks(RankMemory& out) const {
+  const auto record = [](const std::vector<lr::Tile>& panel,
+                         std::vector<index_t>& ranks) {
+    ranks.resize(panel.size());
+    for (std::size_t i = 0; i < panel.size(); ++i) {
+      ranks[i] = panel[i].is_lowrank() ? panel[i].rank() : RankMemory::kDense;
+    }
+  };
+  out.cblks.resize(data_.size());
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    record(data_[k].lpanel, out.cblks[k].l);
+    record(data_[k].upanel, out.cblks[k].u);
+  }
+  out.valid = true;
+}
+
+void NumericFactor::donate_buffers(lr::BufferPool& pool) {
+  const auto donate_tile = [&pool](lr::Tile& t) {
+    if (t.rows() == 0 || t.cols() == 0) return;
+    if (t.is_lowrank()) {
+      auto [u, v] = t.release_lowrank();
+      pool.recycle(std::move(u));
+      pool.recycle(std::move(v));
+    } else {
+      pool.recycle(t.release_dense());
+    }
+  };
+  for (CblkData& cd : data_) {
+    donate_tile(cd.diag);
+    for (lr::Tile& t : cd.lpanel) donate_tile(t);
+    for (lr::Tile& t : cd.upanel) donate_tile(t);
+  }
 }
 
 } // namespace blr::core

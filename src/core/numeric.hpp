@@ -12,8 +12,10 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/options.hpp"
+#include "core/rank_memory.hpp"
 #include "core/task_graph.hpp"
 #include "core/update_policy.hpp"
+#include "lowrank/buffer_pool.hpp"
 #include "lowrank/kernels.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic.hpp"
@@ -68,6 +70,20 @@ struct TraceEvent {
   double end;
 };
 
+/// State a re-factorization replays from the previous numeric pass over
+/// the same SymbolicPlan (DESIGN.md §15). All three are optional and
+/// cost-only: ranks warm-start compressions (verified, grow-on-mismatch),
+/// buffers recycle retired factor storage, and `dag` is a prebuilt task
+/// graph skeleton (must match the effective factorization's llt flavor —
+/// ignored otherwise). Pointed-to state must outlive the NumericFactor.
+/// (Namespace-scope rather than nested so it can default-initialize in the
+/// constructor's default argument.)
+struct NumericReuse {
+  const RankMemory* ranks = nullptr;   ///< learned per-block ranks
+  lr::BufferPool* buffers = nullptr;   ///< retired dense-buffer pool
+  const TaskGraph* dag = nullptr;      ///< prebuilt Dag skeleton
+};
+
 /// The supernodal numeric factorization: one right-looking driver over
 /// tiles, parameterized by an UpdatePolicy (Dense baseline, Just-In-Time,
 /// Minimal Memory, Adaptive), for both LU (general, symmetric pattern) and
@@ -75,15 +91,19 @@ struct TraceEvent {
 /// registry.
 class NumericFactor {
 public:
+  using Reuse = NumericReuse;
+
   /// Assembles the (permuted) initial matrix into the block structure.
   /// For Minimal-Memory this is where the initial compression (lines 1-4 of
   /// Algorithm 1) happens; the dense factor structure is never allocated.
   /// `governor` (may be null: ungoverned) supplies the deadline watchdog the
   /// driver polls and receives injected clock skew; budget breaches arrive
   /// through the MemoryTracker as ResourceError regardless.
+  /// `reuse` (defaulted empty) carries warm-start state for re-factorization.
   NumericFactor(const sparse::CscMatrix& a, const ordering::Ordering& ord,
                 const symbolic::SymbolicFactor& sf, const SolverOptions& opts,
-                bool llt, ResourceGovernor* governor = nullptr);
+                bool llt, ResourceGovernor* governor = nullptr,
+                Reuse reuse = {});
 
   NumericFactor(const NumericFactor&) = delete;
   NumericFactor& operator=(const NumericFactor&) = delete;
@@ -147,6 +167,22 @@ public:
   /// Direct block access (tests / benches).
   [[nodiscard]] const CblkData& cblk_data(index_t k) const {
     return data_[static_cast<std::size_t>(k)];
+  }
+
+  /// Record the final rank of every panel block into `out` (kDense for
+  /// blocks that ended dense) and mark the record valid. Called by the
+  /// Solver after a successful pass; the record seeds the next
+  /// re-factorization's warm-started compressions.
+  void harvest_ranks(RankMemory& out) const;
+
+  /// Move every factor buffer (dense blocks, diagonals, low-rank U/V) into
+  /// `pool` for the next numeric pass to acquire. Destructive: the factors
+  /// are unusable afterwards — callers retire this NumericFactor right away.
+  void donate_buffers(lr::BufferPool& pool);
+
+  /// Warm-start event counters of this pass (all zero on a cold run).
+  [[nodiscard]] const WarmCounters& warm_counters() const {
+    return warm_counters_;
   }
 
 private:
@@ -247,6 +283,8 @@ private:
   const symbolic::SymbolicFactor& sf_;
   SolverOptions opts_;
   bool llt_;
+  Reuse reuse_;                 ///< warm-start state (empty on cold runs)
+  WarmCounters warm_counters_;  ///< warm-start events of this pass
 
   /// The strategy object the driver is parameterized by, plus the context
   /// its decisions run in (compression config + fault-injection hook).
@@ -290,7 +328,8 @@ private:
     bool dense_pair = false;   ///< defer the fused GEMM to the apply task
     bool zero = false;         ///< rank-0 operand: the apply is a no-op
   };
-  std::unique_ptr<TaskGraph> dag_;
+  std::unique_ptr<TaskGraph> dag_;     ///< owned graph (cold Dag runs)
+  const TaskGraph* dagp_ = nullptr;    ///< active graph: reuse_.dag or dag_
   std::unique_ptr<EpochGate> epochs_;
   std::vector<std::unique_ptr<DagUpdateSlot>> dag_slots_;
   DagStats dag_stats_;

@@ -125,12 +125,25 @@ struct FaultInjection {
   /// unlimited). The default of 1 models a transient fault: the first
   /// attempt breaks down, a recovery retry runs clean.
   int max_triggers = 1;
+  /// Trigger opportunities swallowed before the first firing (default 0).
+  /// Lets a test aim the fault at the Nth numeric pass of a solver or
+  /// Session: skip_triggers = 1 with max_triggers = 1 runs the first pass
+  /// clean and breaks the second (e.g. a budget breach mid-refactorize).
+  int skip_triggers = 0;
 
   [[nodiscard]] bool enabled() const { return kind != Kind::None; }
 
-  /// Atomically claim one firing; false once max_triggers is exhausted.
+  /// Atomically claim one firing; false once max_triggers is exhausted
+  /// (or while skip_triggers opportunities are still being swallowed).
   bool try_fire() const {
     if (kind == Kind::None) return false;
+    if (skip_triggers > 0) {
+      int s = skipped_->load(std::memory_order_relaxed);
+      while (s < skip_triggers) {
+        if (skipped_->compare_exchange_weak(s, s + 1, std::memory_order_relaxed))
+          return false;
+      }
+    }
     if (max_triggers < 0) {
       fired_->fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -149,6 +162,9 @@ private:
   /// Shared across copies so recovery attempts (which copy SolverOptions)
   /// observe the firings of earlier attempts.
   std::shared_ptr<std::atomic<int>> fired_ =
+      std::make_shared<std::atomic<int>>(0);
+  /// Skip budget consumed so far; shared for the same reason.
+  std::shared_ptr<std::atomic<int>> skipped_ =
       std::make_shared<std::atomic<int>>(0);
 };
 
@@ -358,6 +374,36 @@ struct SolverOptions {
   /// marginal stay dense — avoiding the LR2LR densify-fallback churn — and
   /// get one more chance at elimination time.
   real_t adaptive_rank_fraction = 0.5;
+
+  /// Seed each re-factorization compression with the rank the previous
+  /// numeric pass learned for the same block (DESIGN.md §15). Warm guesses
+  /// are verify-and-grow: every warm path still checks the τ bound and
+  /// falls back to the full-cap search when the guess is too small, so the
+  /// accuracy contract is identical to a cold factorize(). Read by
+  /// refactorize(); cold factorize() calls never use hints.
+  bool warm_start = true;
+
+  /// Headroom added to each replayed rank guess before capping, absorbing
+  /// small rank growth between passes without triggering the grow fallback.
+  index_t warm_rank_slack = 8;
+
+  /// Skip the compression attempt on blocks the previous pass proved dense
+  /// (dense storage is exact, so skipping cannot change the answer). Read
+  /// by refactorize() when `warm_start` is set.
+  bool warm_dense_skip = true;
+
+  /// Recycle retired factor buffers through a per-solver pool across
+  /// refactorize() calls instead of freeing and re-allocating them. Fixed
+  /// patterns request the same block sizes every pass, so steady-state
+  /// passes allocate almost nothing. Pooled bytes stay visible to the
+  /// MemoryTracker (and any governor budget) as workspace.
+  bool reuse_buffers = true;
+
+  /// Largest number of queued single-RHS solve requests a Session coalesces
+  /// into one blocked multi-RHS solve (DESIGN.md §15). Each column of the
+  /// blocked solve is bit-identical to the corresponding single-RHS solve,
+  /// so coalescing never changes results.
+  index_t session_max_batch = 128;
 };
 
 const char* strategy_name(Strategy s);

@@ -133,35 +133,55 @@ Solver::Solver(SolverOptions opts) : opts_(opts) {
 Solver::~Solver() = default;
 
 void Solver::analyze(const sparse::CscMatrix& a) {
-  BLR_CHECK(a.rows() == a.cols(), "solver requires a square matrix");
-  if (opts_.check_pattern) {
-    BLR_CHECK(a.pattern_symmetric(),
-              "the solver requires a symmetric nonzero pattern (symmetrize the "
-              "matrix, e.g. by assembling A + Aᵗ's pattern, before factorizing)");
-  }
-  Timer timer;
-
-  const sparse::Graph g = sparse::Graph::from_matrix(a);
-  ord_ = ordering::nested_dissection(g, opts_.nd);
-  std::vector<index_t> ranges = ord_.ranges;
-  if (opts_.amalgamate) {
-    ranges = symbolic::amalgamate(a, ord_, std::move(ranges), opts_.amalgamation);
-  }
-  ranges = symbolic::split_ranges(ranges, opts_.split);
-  sf_ = std::make_unique<symbolic::SymbolicFactor>(
-      symbolic::SymbolicFactor::build(a, ord_, ranges));
+  plan_ = SymbolicPlan::build(a, opts_);
   num_.reset();
+  // A new pattern invalidates every piece of warm state.
+  ranks_ = RankMemory{};
+  buffers_.clear();
+  dag_cache_.reset();
+  refactorizations_ = 0;
+  last_error_.clear();
 
   stats_ = SolverStats{};
-  stats_.time_analyze = timer.elapsed();
+  stats_.time_analyze = plan_->build_seconds;
   stats_.n = a.rows();
-  stats_.num_cblks = sf_->num_cblks();
-  stats_.num_bloks = sf_->num_bloks();
+  stats_.num_cblks = plan_->sf.num_cblks();
+  stats_.num_bloks = plan_->sf.num_bloks();
 }
 
 void Solver::factorize(const sparse::CscMatrix& a) {
+  // A cold pass by contract: discard warm state so the result and the cost
+  // profile are independent of any earlier pass.
+  ranks_ = RankMemory{};
+  buffers_.clear();
+  dag_cache_.reset();
+  refactorizations_ = 0;
+  factorize_impl(a, /*warm=*/false);
+}
+
+void Solver::refactorize(const sparse::CscMatrix& a) {
+  if (!analyzed()) {
+    // Nothing to reuse yet — behave exactly like a first factorize().
+    factorize(a);
+    return;
+  }
+  BLR_CHECK(plan_->matches(a),
+            "refactorize() requires the pattern analyze() saw (dimension, "
+            "nnz and structure must all match); call analyze() or "
+            "factorize() for a new pattern");
+  // Retire the previous factors' storage into the pool — but only when this
+  // solver holds the last reference (a Session may still be serving them;
+  // donation destroys the factors in place).
+  if (num_ && num_.use_count() == 1 && opts_.reuse_buffers) {
+    num_->donate_buffers(buffers_);
+  }
+  factorize_impl(a, /*warm=*/true);
+  stats_.refactorizations = ++refactorizations_;
+}
+
+void Solver::factorize_impl(const sparse::CscMatrix& a, bool warm) {
   if (!analyzed()) analyze(a);
-  BLR_CHECK(a.rows() == sf_->n(), "matrix size changed since analyze()");
+  BLR_CHECK(a.rows() == plan_->sf.n(), "matrix size changed since analyze()");
 
   // Any previous factorization is invalid from here on: a failed attempt
   // must leave factorized() == false so solve()/refine()/preconditioner()
@@ -278,6 +298,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
     // counters for this attempt.
     MemoryTracker::instance().reset();
     governor_.apply_budget();  // reset() cleared the tracker-side budget
+    buffers_.retrack();        // ...and the pool's Workspace charge
     KernelDispatch::instance().reset_counters();
     reset_batch_stats();
     la::reset_pack_cache_stats();
@@ -293,10 +314,28 @@ void Solver::factorize(const sparse::CscMatrix& a) {
                                             eff.fault.alloc_category);
     }
 
+    // Warm passes replay everything the previous pass learned that is safe
+    // to replay under THIS attempt's effective options: learned ranks
+    // (verify-and-grow, so always safe), pooled buffers, and — for the DAG
+    // engine — the immutable task skeleton, rebuilt only when the effective
+    // llt flavor changed (the recovery ladder can flip LLᵗ -> LU mid-call).
+    NumericFactor::Reuse reuse;
+    if (warm) {
+      if (opts_.warm_start && ranks_.valid) reuse.ranks = &ranks_;
+      if (opts_.reuse_buffers) reuse.buffers = &buffers_;
+      if (eff.dataflow == Dataflow::Dag) {
+        if (!dag_cache_ || dag_cache_->llt() != llt_) {
+          dag_cache_ = std::make_unique<TaskGraph>(
+              TaskGraph::build(plan_->sf, llt_));
+        }
+        reuse.dag = dag_cache_.get();
+      }
+    }
+
     Timer timer;
     try {
-      num_ = std::make_unique<NumericFactor>(a, ord_, *sf_, eff, llt_,
-                                             &governor_);
+      num_ = std::make_shared<NumericFactor>(a, plan_->ord, plan_->sf, eff,
+                                             llt_, &governor_, reuse);
       num_->factorize(pool_.get());
       rec.seconds = timer.elapsed();
       rec.succeeded = true;
@@ -320,7 +359,9 @@ void Solver::factorize(const sparse::CscMatrix& a) {
       capture_scheduler();  // counters of the failed (cancelled) attempt
       if (rung >= ladder.size()) {
         // Ladder exhausted (or recovery disabled): surface the structured
-        // report, re-stamped with the attempt index.
+        // report, re-stamped with the attempt index. Remember the summary so
+        // a later solve() on the unfactorized solver can explain itself.
+        last_error_ = e.report().to_string();
         throw NumericalError(e.report().to_string(), e.report());
       }
       action = recovery_action_name(ladder[rung].action);
@@ -341,6 +382,7 @@ void Solver::factorize(const sparse::CscMatrix& a) {
       // wall-clock, and the expired watchdog would trip a retry instantly.
       if (e.report().kind == ResourceKind::Deadline ||
           res_rung >= res_ladder.size()) {
+        last_error_ = e.report().to_string();
         throw ResourceError(e.report().to_string(), e.report());
       }
       action = recovery_action_name(res_ladder[res_rung].action);
@@ -351,9 +393,10 @@ void Solver::factorize(const sparse::CscMatrix& a) {
   }
 
   capture_scheduler();
+  last_error_.clear();
 
-  stats_.factor_entries_dense =
-      llt_ ? sf_->factor_entries_lower() : sf_->factor_entries_lu();
+  stats_.factor_entries_dense = llt_ ? plan_->sf.factor_entries_lower()
+                                     : plan_->sf.factor_entries_lu();
   stats_.factor_entries_final = num_->final_entries();
   stats_.factor_bytes_final = num_->final_bytes();
   stats_.factor_bytes_lowrank = num_->lowrank_bytes();
@@ -381,10 +424,37 @@ void Solver::factorize(const sparse::CscMatrix& a) {
       total_calls > 0 ? static_cast<double>(batched_calls) /
                             static_cast<double>(total_calls)
                       : 0.0;
+
+  // Warm-start bookkeeping for the NEXT pass: remember this pass's final
+  // per-block ranks, and surface this pass's warm/buffer counters.
+  num_->harvest_ranks(ranks_);
+  const WarmCounters& wc = num_->warm_counters();
+  stats_.warm.attempts = wc.attempts.load(std::memory_order_relaxed);
+  stats_.warm.hits = wc.hits.load(std::memory_order_relaxed);
+  stats_.warm.grows = wc.grows.load(std::memory_order_relaxed);
+  stats_.warm.dense_skips = wc.dense_skips.load(std::memory_order_relaxed);
+  const lr::BufferPool::Stats bp = buffers_.stats();
+  stats_.buffer_hits = bp.hits;
+  stats_.buffer_misses = bp.misses;
+  stats_.refactorizations = refactorizations_;
+}
+
+void Solver::require_factors(const char* fn) const {
+  if (factorized()) return;
+  FailureReport r;
+  r.kind = FailureKind::NotFactorized;
+  r.strategy = strategy_name(opts_.strategy);
+  r.compression = kind_name(opts_.kind);
+  r.factorization = llt_ ? "LLt" : "LU";
+  r.tolerance = static_cast<double>(opts_.tolerance);
+  r.detail = std::string("a successful factorize() is required before ") +
+             fn + "()";
+  if (!last_error_.empty()) r.detail += "; last failure: " + last_error_;
+  throw NumericalError(r.to_string(), r);
 }
 
 void Solver::solve(const real_t* b, real_t* x) const {
-  BLR_CHECK(factorized(), "a successful factorize() is required before solve()");
+  require_factors("solve");
   Timer timer;
   num_->solve(b, x);
   const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
@@ -397,14 +467,14 @@ std::vector<real_t> Solver::solve(const std::vector<real_t>& b) const {
 }
 
 void Solver::solve(la::DConstView b, la::DView x) const {
-  BLR_CHECK(factorized(), "a successful factorize() is required before solve()");
+  require_factors("solve");
   Timer timer;
   num_->solve(b, x);
   const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
 }
 
 Preconditioner Solver::preconditioner() const {
-  BLR_CHECK(factorized(), "a successful factorize() is required before preconditioner()");
+  require_factors("preconditioner");
   const NumericFactor* num = num_.get();
   return [num](const real_t* in, real_t* out) { num->solve(in, out); };
 }
@@ -572,7 +642,7 @@ void Solver::print_summary(std::ostream& os) const {
 
 RefinementResult Solver::refine(const sparse::CscMatrix& a, const real_t* b,
                                 real_t* x, const RefinementOptions& opts) const {
-  BLR_CHECK(factorized(), "a successful factorize() is required before refine()");
+  require_factors("refine");
   const Preconditioner m = preconditioner();
   return llt_ ? conjugate_gradient(a, m, b, x, opts) : gmres(a, m, b, x, opts);
 }

@@ -10,6 +10,8 @@
 #include "core/options.hpp"
 #include "core/refinement.hpp"
 #include "core/stats.hpp"
+#include "core/symbolic_plan.hpp"
+#include "lowrank/buffer_pool.hpp"
 
 namespace blr::core {
 
@@ -27,6 +29,13 @@ namespace blr::core {
 ///   solver.refine(A, b.data(), x.data());  // optional GMRES/CG polish
 /// ```
 ///
+/// For time-stepping / nonlinear-iteration workloads where the pattern is
+/// fixed but the values change every step, call refactorize() instead of
+/// factorize() from the second step on: the symbolic plan is reused as-is,
+/// retired factor buffers are recycled, and each block's compression is
+/// seeded with the rank the previous pass learned (verify-and-grow, so the
+/// τ accuracy contract is unchanged — DESIGN.md §15).
+///
 /// Every configuration knob lives in SolverOptions (see options.hpp: each
 /// field documents its default and which strategy reads it); measurements of
 /// the last run — times, compression, per-precision kernel counters, memory
@@ -40,15 +49,28 @@ public:
   Solver& operator=(const Solver&) = delete;
 
   /// Preprocessing: nested-dissection ordering, supernode splitting and
-  /// block symbolic factorization. Independent of numerical values — call
-  /// once and factorize() repeatedly for matrices with the same pattern.
+  /// block symbolic factorization, frozen into an immutable SymbolicPlan.
+  /// Independent of numerical values — call once and factorize() /
+  /// refactorize() repeatedly for matrices with the same pattern.
   void analyze(const sparse::CscMatrix& a);
 
   /// Numeric phase: assembly (+ initial compression for Minimal-Memory) and
   /// the block factorization under the configured strategy. Under
   /// TilePrecision::MixedTiles, low-rank factors below the demotion rank cap
-  /// are stored in fp32 between kernels (DESIGN.md §10).
+  /// are stored in fp32 between kernels (DESIGN.md §10). A cold pass: any
+  /// warm state (learned ranks, pooled buffers, cached task graph) from
+  /// previous passes is discarded first.
   void factorize(const sparse::CscMatrix& a);
+
+  /// Cheap numeric pass over a matrix with the SAME pattern analyze() saw
+  /// but (typically) different values. Reuses the symbolic plan verbatim,
+  /// recycles the previous factors' storage through a buffer pool, replays
+  /// the cached task graph (Dataflow::Dag), and seeds each block's
+  /// compression with the previously learned rank — verified at the τ bound
+  /// and grown on mismatch, so accuracy is identical to a cold factorize()
+  /// (DESIGN.md §15). Falls back to factorize() when analyze() has not run;
+  /// throws blr::Error when the pattern fingerprint does not match.
+  void refactorize(const sparse::CscMatrix& a);
 
   /// Direct triangular solve (b, x of length n; aliasing allowed).
   void solve(const real_t* b, real_t* x) const;
@@ -89,26 +111,63 @@ public:
   [[nodiscard]] std::size_t pool_pending() const {
     return pool_ ? pool_->pending() : 0;
   }
-  [[nodiscard]] bool analyzed() const { return sf_ != nullptr; }
+  [[nodiscard]] bool analyzed() const { return plan_ != nullptr; }
   [[nodiscard]] bool factorized() const { return num_ != nullptr; }
   [[nodiscard]] bool is_llt() const { return llt_; }
 
-  [[nodiscard]] const ordering::Ordering& ordering() const { return ord_; }
-  [[nodiscard]] const symbolic::SymbolicFactor& symbolic() const { return *sf_; }
+  [[nodiscard]] const ordering::Ordering& ordering() const { return plan_->ord; }
+  [[nodiscard]] const symbolic::SymbolicFactor& symbolic() const {
+    return plan_->sf;
+  }
   [[nodiscard]] const NumericFactor& numeric() const { return *num_; }
 
+  /// The frozen analysis product (nullptr before analyze()). Shared so a
+  /// Session — and any factors it is still serving — can keep the plan
+  /// alive across re-analyses of this solver.
+  [[nodiscard]] std::shared_ptr<const SymbolicPlan> plan() const {
+    return plan_;
+  }
+  /// Shared ownership of the current factors (nullptr when !factorized()).
+  /// A Session snapshots this before each blocked solve so a concurrent
+  /// refactorize() can never destroy factors mid-solve; non-const so the
+  /// last owner can retire the factors into a buffer pool.
+  [[nodiscard]] std::shared_ptr<NumericFactor> numeric_shared() const {
+    return num_;
+  }
+  /// The cross-pass buffer pool retired factor storage is recycled through.
+  [[nodiscard]] lr::BufferPool& buffer_pool() { return buffers_; }
+  /// Summary of the last terminal factorization failure (empty when the
+  /// last numeric pass succeeded, or none ran yet).
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
 private:
+  /// Shared body of factorize()/refactorize(): the attempt loop with both
+  /// recovery ladders. `warm` enables plan/buffer/rank/task-graph reuse.
+  void factorize_impl(const sparse::CscMatrix& a, bool warm);
+  /// Throw a structured NumericalError (FailureKind::NotFactorized, with the
+  /// last terminal failure embedded) when no successful factorization is
+  /// held; `fn` names the rejected entry point.
+  void require_factors(const char* fn) const;
+
   SolverOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
-  ordering::Ordering ord_;
-  std::unique_ptr<symbolic::SymbolicFactor> sf_;
-  std::unique_ptr<NumericFactor> num_;
+  std::shared_ptr<const SymbolicPlan> plan_;
+  std::shared_ptr<NumericFactor> num_;
   /// Enforces memory_budget_bytes / deadline_ms across every attempt of one
   /// factorize() call (armed for its whole duration, numerical retries
   /// included — the deadline covers the ladder, not each rung).
   ResourceGovernor governor_;
   SolverStats stats_;
   bool llt_ = false;
+
+  // Warm state carried between numeric passes over one plan (DESIGN.md §15).
+  RankMemory ranks_;            ///< per-block ranks learned by the last pass
+  lr::BufferPool buffers_;      ///< retired factor storage for reuse
+  std::unique_ptr<TaskGraph> dag_cache_;  ///< immutable task skeleton (Dag)
+  std::uint64_t refactorizations_ = 0;
+  /// Summary of the last terminal factorization failure (empty: none);
+  /// embedded in the structured not-factorized error require_factors throws.
+  std::string last_error_;
 };
 
 } // namespace blr::core

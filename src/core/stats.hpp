@@ -79,6 +79,24 @@ struct FactorizeAttempt {
   std::uint64_t batch_entries = 0;       ///< kernel calls routed through them
 };
 
+/// Warm-start counters of one numeric pass (DESIGN.md §15; all zero for
+/// cold factorizations). Snapshot of the per-run atomics in
+/// core::WarmCounters.
+struct WarmStartStats {
+  std::uint64_t attempts = 0;     ///< compressions seeded with a replayed rank
+  std::uint64_t hits = 0;         ///< warm guesses accepted at the τ bound
+  std::uint64_t grows = 0;        ///< guesses too small → full-cap fallback ran
+  std::uint64_t dense_skips = 0;  ///< compressions skipped on proven-dense blocks
+};
+
+/// Per-request measurements of one Session::solve() call (DESIGN.md §15).
+struct SolveStats {
+  std::uint64_t factor_epoch = 0;  ///< which refactorize() produced the factors used
+  index_t batch_size = 0;          ///< requests coalesced into the blocked solve
+  double wait_seconds = 0;         ///< queue time before the blocked solve started
+  double solve_seconds = 0;        ///< wall time of the blocked solve itself
+};
+
 /// Aggregate measurements of one solver run — the quantities the paper's
 /// tables and figures report.
 struct SolverStats {
@@ -169,6 +187,20 @@ struct SolverStats {
   /// Batched-execution counters of the successful attempt (all zero under
   /// SolverOptions::batching == Batching::Off).
   BatchExecStats batch;
+
+  /// Numeric passes served by the current symbolic plan beyond the first:
+  /// incremented by every successful refactorize() (DESIGN.md §15).
+  std::uint64_t refactorizations = 0;
+
+  /// Warm-start counters of the last successful numeric pass (all zero for
+  /// cold factorizations or when SolverOptions::warm_start is off).
+  WarmStartStats warm;
+
+  /// Buffer-pool counters accumulated since the last cold factorize():
+  /// acquisitions served from recycled factor storage vs. fresh allocations
+  /// (both zero when SolverOptions::reuse_buffers is off or on cold passes).
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t buffer_misses = 0;
 
   [[nodiscard]] double compression_ratio() const {
     return factor_entries_final > 0

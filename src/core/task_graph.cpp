@@ -181,6 +181,7 @@ void EpochGate::advance(std::uint64_t addr, std::uint8_t from, std::uint8_t to) 
 
 TaskGraph TaskGraph::build(const symbolic::SymbolicFactor& sf, bool llt) {
   TaskGraph g;
+  g.llt_ = llt;
   const index_t ncblk = sf.num_cblks();
 
   // Dense tile-address space: per supernode one diagonal address, nb L-panel

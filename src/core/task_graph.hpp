@@ -202,6 +202,11 @@ public:
                    const std::function<bool(std::uint32_t)>& body,
                    const std::function<std::int64_t(std::uint32_t)>& priority) const;
 
+  /// The factorization flavor this graph was built for. A cached skeleton
+  /// (SymbolicPlan reuse across re-factorizations) is only valid while the
+  /// effective factorization matches — LU doubles the panel address space.
+  [[nodiscard]] bool llt() const { return llt_; }
+
 private:
   std::vector<DagTask> tasks_;
   DepBuilder::Deps deps_;
@@ -209,6 +214,7 @@ private:
   std::uint64_t naddrs_ = 0;
   std::uint32_t nupdates_ = 0;
   std::uint64_t critical_path_ = 0;
+  bool llt_ = false;
 };
 
 } // namespace blr::core

@@ -18,22 +18,72 @@ void maybe_demote(lr::Tile& t, const PolicyContext& ctx) {
   t.demote_lowrank();
 }
 
+/// The replayed rank for this site (RankMemory::kUnknown when cold or the
+/// site carries no record).
+index_t warm_hint_for(const PolicyContext& ctx, index_t k, BlockSite site) {
+  if (ctx.warm == nullptr || site.blok < 0) return RankMemory::kUnknown;
+  return ctx.warm->hint(k, site.upper, site.blok);
+}
+
+/// True when the site should skip compression outright because the previous
+/// pass proved the block incompressible (dense is exact, so this can only
+/// save work, never accuracy). Counted per event.
+bool warm_skip_dense(const PolicyContext& ctx, index_t hint) {
+  if (hint != RankMemory::kDense || !ctx.warm_dense_skip) return false;
+  if (ctx.warm_counters != nullptr)
+    ctx.warm_counters->dense_skips.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+/// Turn a replayed rank into the guess handed to compress_warm: the learned
+/// rank plus slack, clamped to the cap. Returns -1 (cold) when no usable
+/// record exists. Counts the attempt.
+index_t warm_guess(const PolicyContext& ctx, index_t hint, index_t cap) {
+  if (hint < 0) return -1;
+  if (ctx.warm_counters != nullptr)
+    ctx.warm_counters->attempts.fetch_add(1, std::memory_order_relaxed);
+  return std::min(cap, hint + ctx.warm_slack);
+}
+
+/// Record the warm outcome once the kernel reports whether it had to grow.
+void warm_outcome(WarmCounters* counters, bool grew) {
+  if (counters == nullptr) return;
+  (grew ? counters->grows : counters->hits).fetch_add(1, std::memory_order_relaxed);
+}
+
+/// compress routed warm or cold depending on `guess` (counted either way by
+/// the dispatch registry).
+std::optional<lr::LrMatrix> compress_site(const PolicyContext& ctx,
+                                          la::DConstView a, index_t cap,
+                                          index_t guess) {
+  if (guess < 0) return dispatch::compress(ctx.kind, a, ctx.tolerance, cap);
+  bool grew = false;
+  auto out = dispatch::compress(ctx.kind, a, ctx.tolerance, cap, guess, &grew);
+  warm_outcome(ctx.warm_counters, grew);
+  return out;
+}
+
 } // namespace
 
-lr::Tile UpdatePolicy::assemble(index_t k, la::DMatrix scratch,
+lr::Tile UpdatePolicy::assemble(index_t k, BlockSite site, la::DMatrix scratch,
                                 bool compressible, const PolicyContext& ctx,
                                 lr::TileArena& arena) const {
   (void)k;
+  (void)site;
   (void)compressible;
   (void)ctx;
   return lr::Tile::from_dense(std::move(scratch), arena);
 }
 
-void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
-                                  const PolicyContext& ctx,
+void UpdatePolicy::at_elimination(index_t k, BlockSite site, lr::Tile& t,
+                                  bool compressible, const PolicyContext& ctx,
                                   KernelBatch* batch) const {
   if (t.is_lowrank() || !compressible) return;
+  const index_t hint = warm_hint_for(ctx, k, site);
+  if (warm_skip_dense(ctx, hint)) return;
   if (ctx.compression_site) ctx.compression_site(k);
+  const index_t limit = lr::beneficial_rank_limit(t.rows(), t.cols());
+  const index_t guess = warm_guess(ctx, hint, limit);
   if (batch) {
     // Defer the compression to the panel's batch boundary. The completion
     // (run sequentially, in enqueue order) installs the result exactly as
@@ -42,7 +92,9 @@ void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
     KernelCtx& kc = batch->enqueue(
         KernelOp::Compress, Rep::Dense, Prec::Fp64, Rep::None, Prec::Fp64,
         [&t, precision = ctx.precision,
-         mixed_rank_threshold = ctx.mixed_rank_threshold](KernelCtx& done) {
+         mixed_rank_threshold = ctx.mixed_rank_threshold,
+         counters = ctx.warm_counters](KernelCtx& done) {
+          if (done.warm_hint >= 0) warm_outcome(counters, done.warm_grew);
           if (!done.out_lr) return;
           t.set_lowrank(std::move(*done.out_lr));
           t.advance(lr::TileState::Compressed);
@@ -54,11 +106,11 @@ void UpdatePolicy::at_elimination(index_t k, lr::Tile& t, bool compressible,
     kc.in = t.dense().cview();
     kc.kind = ctx.kind;
     kc.tolerance = ctx.tolerance;
-    kc.max_rank = lr::beneficial_rank_limit(t.rows(), t.cols());
+    kc.max_rank = limit;
+    kc.warm_hint = guess;
     return;
   }
-  auto lrm = dispatch::compress(ctx.kind, t.dense().cview(), ctx.tolerance,
-                                lr::beneficial_rank_limit(t.rows(), t.cols()));
+  auto lrm = compress_site(ctx, t.dense().cview(), limit, guess);
   if (lrm) {
     t.set_lowrank(std::move(*lrm));
     t.advance(lr::TileState::Compressed);
@@ -73,8 +125,8 @@ class DensePolicy final : public UpdatePolicy {
 public:
   [[nodiscard]] Strategy strategy() const override { return Strategy::Dense; }
   [[nodiscard]] const char* name() const override { return "Dense"; }
-  void at_elimination(index_t, lr::Tile&, bool, const PolicyContext&,
-                      KernelBatch*) const override {}
+  void at_elimination(index_t, BlockSite, lr::Tile&, bool,
+                      const PolicyContext&, KernelBatch*) const override {}
 };
 
 /// Algorithm 2: assemble dense, compress when the supernode is eliminated.
@@ -99,14 +151,18 @@ public:
   }
   [[nodiscard]] const char* name() const override { return "MinimalMemory"; }
 
-  [[nodiscard]] lr::Tile assemble(index_t k, la::DMatrix scratch,
+  [[nodiscard]] lr::Tile assemble(index_t k, BlockSite site, la::DMatrix scratch,
                                   bool compressible, const PolicyContext& ctx,
                                   lr::TileArena& arena) const override {
     if (!compressible) return lr::Tile::from_dense(std::move(scratch), arena);
+    const index_t hint = warm_hint_for(ctx, k, site);
+    if (warm_skip_dense(ctx, hint))
+      return lr::Tile::from_dense(std::move(scratch), arena);
     if (ctx.compression_site) ctx.compression_site(k);
-    auto lrm = dispatch::compress(
-        ctx.kind, scratch.cview(), ctx.tolerance,
-        lr::beneficial_rank_limit(scratch.rows(), scratch.cols()));
+    const index_t limit =
+        lr::beneficial_rank_limit(scratch.rows(), scratch.cols());
+    auto lrm = compress_site(ctx, scratch.cview(), limit,
+                             warm_guess(ctx, hint, limit));
     if (lrm) {
       lr::Tile t = lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
                                           std::move(*lrm), arena);
@@ -132,7 +188,7 @@ public:
   }
   [[nodiscard]] const char* name() const override { return "Adaptive"; }
 
-  [[nodiscard]] lr::Tile assemble(index_t k, la::DMatrix scratch,
+  [[nodiscard]] lr::Tile assemble(index_t k, BlockSite site, la::DMatrix scratch,
                                   bool compressible, const PolicyContext& ctx,
                                   lr::TileArena& arena) const override {
     const index_t limit =
@@ -142,8 +198,12 @@ public:
     if (!compressible || cap < 1) {
       return lr::Tile::from_dense(std::move(scratch), arena);
     }
+    const index_t hint = warm_hint_for(ctx, k, site);
+    if (warm_skip_dense(ctx, hint))
+      return lr::Tile::from_dense(std::move(scratch), arena);
     if (ctx.compression_site) ctx.compression_site(k);
-    auto lrm = dispatch::compress(ctx.kind, scratch.cview(), ctx.tolerance, cap);
+    auto lrm = compress_site(ctx, scratch.cview(), cap,
+                             warm_guess(ctx, hint, cap));
     if (lrm) {
       lr::Tile t = lr::Tile::make_lowrank(scratch.rows(), scratch.cols(),
                                           std::move(*lrm), arena);

@@ -4,11 +4,20 @@
 #include <memory>
 
 #include "core/options.hpp"
+#include "core/rank_memory.hpp"
 #include "lowrank/tile.hpp"
 
 namespace blr::core {
 
 class KernelBatch;
+
+/// Identifies the panel block a policy hook is operating on, so warm hints
+/// from a previous numeric pass can be looked up. `blok < 0` means the site
+/// is unknown (no warm hint applies).
+struct BlockSite {
+  index_t blok = -1;   ///< off-diagonal blok index within the supernode panel
+  bool upper = false;  ///< U-panel tile (LU) rather than L-panel
+};
 
 /// Environment a policy decision runs in: the compression configuration plus
 /// the driver's per-site hooks (fault injection counts every compression
@@ -25,6 +34,13 @@ struct PolicyContext {
   /// Called once per compression site with the supernode index; may throw
   /// (deterministic CompressionFail injection).
   std::function<void(index_t)> compression_site;
+  /// Rank record replayed from the previous numeric pass over the same plan
+  /// (nullptr: cold factorization, no warm starts). Hints are cost-only:
+  /// every seeded compression verifies the tolerance and grows on mismatch.
+  const RankMemory* warm = nullptr;
+  index_t warm_slack = 8;      ///< headroom added to each replayed rank guess
+  bool warm_dense_skip = true; ///< keep previously-dense blocks dense outright
+  WarmCounters* warm_counters = nullptr;  ///< event counters (may be null)
 };
 
 /// Strategy object the right-looking driver is parameterized by: when to
@@ -40,8 +56,11 @@ public:
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Turn one gathered panel block into a Tile (representation decision at
-  /// assembly). Default: keep dense (Dense / Just-In-Time).
-  [[nodiscard]] virtual lr::Tile assemble(index_t k, la::DMatrix scratch,
+  /// assembly). Default: keep dense (Dense / Just-In-Time). `site` names
+  /// the panel block for rank warm-starting; pass a default BlockSite for
+  /// the diagonal or other sites without a rank record.
+  [[nodiscard]] virtual lr::Tile assemble(index_t k, BlockSite site,
+                                          la::DMatrix scratch,
                                           bool compressible,
                                           const PolicyContext& ctx,
                                           lr::TileArena& arena) const;
@@ -63,8 +82,8 @@ public:
   /// non-null the compression is enqueued into it instead of dispatched
   /// eagerly — the kernel runs at the driver's batch boundary and the
   /// result is installed by the batch completion (same math, same order).
-  virtual void at_elimination(index_t k, lr::Tile& t, bool compressible,
-                              const PolicyContext& ctx,
+  virtual void at_elimination(index_t k, BlockSite site, lr::Tile& t,
+                              bool compressible, const PolicyContext& ctx,
                               KernelBatch* batch = nullptr) const;
 };
 

@@ -40,6 +40,33 @@ std::optional<LrMatrix> compress_randomized(la::DConstView a, real_t tol_rel,
 std::optional<LrMatrix> compress(CompressionKind kind, la::DConstView a,
                                  real_t tol_rel, index_t max_rank);
 
+/// compress_randomized with an explicit initial sketch width (the cold entry
+/// point starts at min(16, min(m,n))). The adaptive loop doubles the sketch
+/// and re-verifies the residual until the tolerance holds, so a too-small
+/// start costs extra iterations but never accuracy.
+std::optional<LrMatrix> compress_randomized_from(la::DConstView a, real_t tol_rel,
+                                                 index_t max_rank, index_t sketch0);
+
+/// Outcome of a warm-started compression (DESIGN.md §15): `lr` follows the
+/// same contract as compress(); `grew` records that the rank guess was too
+/// small and the kernel fell back to the full-cap path (the verify-and-grow
+/// event counted in SolverStats::warm).
+struct WarmCompressResult {
+  std::optional<LrMatrix> lr;
+  bool grew = false;
+};
+
+/// Compress seeded with `rank_guess`, the rank this block reached in the
+/// previous numeric pass plus slack (clamped to max_rank by the caller).
+/// Accuracy contract: every warm path *verifies* ‖A − Â‖_F <= tol_rel·‖A‖_F
+/// before accepting — RRQR via its trailing-block check, SVD/Randomized via
+/// the explicit sketch residual — and on failure retries at the full cap
+/// exactly as a cold call would. A warm guess can therefore change cost,
+/// never the error bound.
+WarmCompressResult compress_warm(CompressionKind kind, la::DConstView a,
+                                 real_t tol_rel, index_t max_rank,
+                                 index_t rank_guess);
+
 /// Compress with the storage-beneficial rank limit; returns a low-rank Tile
 /// on success, a dense copy otherwise.
 Tile compress_to_tile(CompressionKind kind, la::DConstView a, real_t tol_rel,

@@ -92,7 +92,11 @@ Separator find_separator(const sparse::Graph& g, const NdOptions& opts) {
     if (bfs.num_levels < 3) continue;
     // Count vertices per level.
     std::vector<index_t> count(static_cast<std::size_t>(bfs.num_levels), 0);
-    for (const index_t l : bfs.level) ++count[static_cast<std::size_t>(l)];
+    // Unreached vertices (disconnected graph) keep level -1; they fall into
+    // part A below (-1 < m for every candidate level), so skip them here.
+    for (const index_t l : bfs.level) {
+      if (l >= 0) ++count[static_cast<std::size_t>(l)];
+    }
     index_t below = count[0];
     for (index_t m = 1; m + 1 < bfs.num_levels; ++m) {
       const index_t ns = count[static_cast<std::size_t>(m)];
