@@ -62,6 +62,7 @@ struct TrajectoryRow {
 
 struct SolveRow {
   index_t nrhs = 0;
+  int threads = 1;        ///< solve_threads (1 = sequential two-sweep)
   double seconds = 0;     ///< one blocked solve of nrhs columns
   double rhs_per_s = 0;
 };
@@ -133,15 +134,20 @@ int run(bool quick) {
     rows.push_back(row);
   }
 
-  // Solve throughput: one blocked multi-RHS solve per width on fresh
-  // JustInTime factors (the solve path is strategy-independent once the
-  // factors exist).
+  // Solve throughput: one blocked multi-RHS solve per (width, solve-thread
+  // count) on JustInTime factors (the solve path is strategy-independent
+  // once the factors exist). The warmed pass after a refactorize also pins
+  // the solve-plan replay floor.
   std::vector<SolveRow> solves;
-  {
+  for (const int threads : {1, 4}) {
     SolverOptions opts = base;
     opts.strategy = Strategy::JustInTime;
+    opts.solve_parallel = threads > 1;
+    opts.solve_threads = threads;
     core::Solver solver(opts);
     solver.factorize(a0);
+    // One value step so the steady-state (plan-replaying) solve is measured.
+    solver.refactorize(step_values(a0, real_t(1.05), real_t(0.1)));
     Prng rng(1234);
     for (const index_t nrhs : {index_t{1}, index_t{8}, index_t{32},
                                index_t{128}}) {
@@ -156,10 +162,40 @@ int run(bool quick) {
       }
       SolveRow sr;
       sr.nrhs = nrhs;
+      sr.threads = threads;
       sr.seconds = best;
       sr.rhs_per_s = static_cast<double>(nrhs) / best;
       solves.push_back(sr);
     }
+    // Structural floors: the cached solve schedule served every pass, and
+    // the parallel configuration actually left the sequential sweep.
+    const core::SolvePhaseStats& sp = solver.stats().solve_phase;
+    require(sp.plan_builds == 1 && sp.plan_reuses >= 1,
+            "solve plan was rebuilt instead of reused across refactorize");
+    if (threads > 1) {
+      require(sp.parallel_solves + sp.split_solves > 0,
+              "parallel solve path never engaged");
+    }
+  }
+
+  // fp32 widen-cache floor: MixedTiles factors promote their low-rank
+  // factors to fp64 once per epoch and hit that cache on every solve.
+  {
+    SolverOptions opts = base;
+    opts.strategy = Strategy::MinimalMemory;
+    opts.precision = TilePrecision::MixedTiles;
+    core::Solver solver(opts);
+    solver.factorize(a0);
+    Prng rng(99);
+    la::DMatrix b(n, 4), x(n, 4);
+    la::random_normal(b.view(), rng);
+    solver.solve(b.cview(), x.view());
+    solver.solve(b.cview(), x.view());
+    const core::SolvePhaseStats& sp = solver.stats().solve_phase;
+    require(solver.stats().num_fp32_blocks > 0,
+            "MixedTiles produced no fp32 blocks to widen");
+    require(sp.widen_bytes > 0 && sp.widen_hits > 0,
+            "fp32 widen cache never engaged");
   }
   std::FILE* out = std::fopen("bench_refactorize.json", "w");
   if (out == nullptr) {
@@ -191,10 +227,10 @@ int run(bool quick) {
   for (std::size_t i = 0; i < solves.size(); ++i) {
     const SolveRow& sr = solves[i];
     std::fprintf(out,
-                 "    {\"nrhs\": %lld, \"seconds\": %.6e, "
+                 "    {\"nrhs\": %lld, \"threads\": %d, \"seconds\": %.6e, "
                  "\"rhs_per_s\": %.1f}%s\n",
-                 static_cast<long long>(sr.nrhs), sr.seconds, sr.rhs_per_s,
-                 i + 1 < solves.size() ? "," : "");
+                 static_cast<long long>(sr.nrhs), sr.threads, sr.seconds,
+                 sr.rhs_per_s, i + 1 < solves.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -81,8 +81,11 @@ def summarize(report: dict) -> dict:
         }
     solves = report.get("solve_throughput", [])
     if solves:
+        # Keyed "<nrhs>@<threads>t" so the 1-thread sweep and the parallel
+        # solve-pool sweep track as separate series (rows from reports
+        # predating the threads axis fold in as 1-thread).
         entry["solve_rhs_per_s"] = {
-            str(row["nrhs"]): row["rhs_per_s"]
+            f"{row['nrhs']}@{row.get('threads', 1)}t": row["rhs_per_s"]
             for row in solves if "nrhs" in row
         }
     return entry

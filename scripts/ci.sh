@@ -20,9 +20,10 @@ JOBS="$(nproc)"
 # label subsets: ASan/UBSan take the whole suite (including the `resource`
 # label, whose soft-failure paths are exactly where leaks would hide); TSan
 # (the slowest) takes the concurrency-sensitive suites — the engine + fault +
-# dag + resource + session labels (sessions coalesce solves across threads
-# and race refactorize against them) and the scheduler/determinism tests
-# written for it.
+# dag + resource + session + solve labels (sessions coalesce solves across
+# threads and race refactorize against them; the solve label drains the
+# parallel solve DAG and races direct solves on the engine lock) and the
+# scheduler/determinism tests written for it.
 configure_and_build() { # <dir> <sanitize> [extra cmake args...]
   local dir="$1" sanitize="$2"
   shift 2
@@ -40,6 +41,10 @@ run_debug() {
 run_asan() {
   configure_and_build build-ci-asan address
   ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+  # Focused re-run of the solve label: the widen cache and the permutation
+  # scratch pool are exactly the lazily-built, cross-solve-reused allocations
+  # where leaks and use-after-invalidation would hide.
+  ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" -L solve
 }
 
 run_ubsan() {
@@ -50,7 +55,7 @@ run_ubsan() {
 run_tsan() {
   configure_and_build build-ci-tsan thread
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-        -L 'engine|fault|dag|resource|session'
+        -L 'engine|fault|dag|resource|session|solve'
   ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
         -R 'thread_pool|ParallelDeterminism|Trace'
 }

@@ -20,6 +20,8 @@ const char* kernel_op_name(KernelOp op) {
     case KernelOp::Lr2Lr: return "lr2lr";
     case KernelOp::Lr2Ge: return "lr2ge";
     case KernelOp::Compress: return "compress";
+    case KernelOp::SolveTrsm: return "solve_trsm";
+    case KernelOp::SolveGemm: return "solve_gemm";
     case KernelOp::kCount: break;
   }
   return "?";
@@ -33,6 +35,7 @@ namespace {
 struct ShapeSig {
   index_t c_r = 0, c_c = 0, a_r = 0, a_c = 0, b_r = 0, b_c = 0;
   index_t v_r = 0, v_c = 0, i_r = 0, i_c = 0;
+  index_t su_r = 0, su_c = 0, sv_r = 0, sv_c = 0;
 
   bool operator==(const ShapeSig&) const = default;
 };
@@ -46,6 +49,10 @@ ShapeSig shape_of(const KernelCtx& ctx) {
   s.v_c = ctx.view.cols;
   s.i_r = ctx.in.rows;
   s.i_c = ctx.in.cols;
+  s.su_r = ctx.su.rows;
+  s.su_c = ctx.su.cols;
+  s.sv_r = ctx.sv.rows;
+  s.sv_c = ctx.sv.cols;
   return s;
 }
 
@@ -72,6 +79,11 @@ void note_stable_operands(const KernelCtx& ctx,
   add_tile(ctx.a);
   add_tile(ctx.b);
   if (ctx.in.data != nullptr) out.push_back(ctx.in.data);
+  // Solve factor views are stable by construction: they alias either a
+  // factored (immutable) fp64 tile or the per-epoch fp32 widen cache, both
+  // alive and unmutated for the whole batch.
+  if (ctx.su.data != nullptr) out.push_back(ctx.su.data);
+  if (ctx.sv.data != nullptr) out.push_back(ctx.sv.data);
 }
 
 std::uint64_t ctx_bytes(const KernelCtx& ctx) {
@@ -203,6 +215,63 @@ void k_compress(KernelCtx& ctx) {
   }
 }
 
+// ---- triangular-solve kernels (DESIGN.md §16) ----------------------------
+//
+// The solve phase routes its per-segment operations through the registry so
+// they run on the packed backend engine and show up in the kernel table.
+// `ctx.transpose` carries the sweep direction (false = forward, true =
+// backward); `ctx.view` is the in-out RHS segment.
+
+void k_solve_trsm(KernelCtx& ctx) {
+  const la::DConstView diag = ctx.diag->cview();
+  la::DView xk = ctx.view;
+  if (!ctx.transpose) {
+    // Forward: local pivot swaps (LU only), then the unit/non-unit lower
+    // solve of L.
+    if (!ctx.llt) {
+      for (std::size_t j = 0; j < ctx.piv->size(); ++j) {
+        const index_t p = (*ctx.piv)[j];
+        if (p != static_cast<index_t>(j)) {
+          for (index_t r = 0; r < xk.cols; ++r)
+            std::swap(xk(static_cast<index_t>(j), r), xk(p, r));
+        }
+      }
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::Unit,
+               real_t(1), diag, xk);
+    } else {
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No,
+               la::Diag::NonUnit, real_t(1), diag, xk);
+    }
+    return;
+  }
+  // Backward: Lᵗ for Cholesky, U for LU.
+  if (ctx.llt) {
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::Yes, la::Diag::NonUnit,
+             real_t(1), diag, xk);
+  } else {
+    la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit,
+             real_t(1), diag, xk);
+  }
+}
+
+void k_solve_gemm_dense(KernelCtx& ctx) {
+  // Forward: xout -= blk·xin; backward: xout -= blkᵗ·xin.
+  la::gemm(ctx.transpose ? la::Trans::Yes : la::Trans::No, la::Trans::No,
+           real_t(-1), ctx.a->dense().cview(), ctx.in, real_t(1), ctx.view);
+}
+
+void k_solve_gemm_lr(KernelCtx& ctx) {
+  // Two rank-sized gemvs per RHS column: tmp = svᵗ·xin, xout -= su·tmp.
+  // position_solve_gemm already swapped the u/v roles for the backward
+  // sweep, so both directions run the same pair; the fp32 key differs only
+  // in where su/sv point (the per-epoch widen cache).
+  la::DMatrix tmp(ctx.su.cols, ctx.in.cols);
+  la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), ctx.sv, ctx.in, real_t(0),
+           tmp.view());
+  la::gemm(la::Trans::No, la::Trans::No, real_t(-1), ctx.su, tmp.cview(),
+           real_t(1), ctx.view);
+}
+
 // ---- fp32 promotion wrappers (DESIGN.md §10) -----------------------------
 //
 // Fp32 is an at-rest format only: these wrappers widen the stored factors to
@@ -279,6 +348,19 @@ KernelDispatch::KernelDispatch() {
                   "lr2ge[lr]", Kernel::DenseUpdate, k_lr2ge);
   register_kernel(KernelOp::Compress, Rep::Dense, f64, Rep::None, f64,
                   "compress[ge]", Kernel::Compression, k_compress);
+  // Triangular-solve kernels (DESIGN.md §16). All charge the Kernel::Solve
+  // stats row — the row the monolithic sweep used to time as one block — so
+  // Table 2 totals keep their meaning. The lr32 key runs the same fp64 math
+  // as lr: its operands are the widen-cache copies, the key only separates
+  // the counter rows per at-rest precision.
+  register_kernel(KernelOp::SolveTrsm, Rep::Dense, f64, Rep::None, f64,
+                  "solve_trsm[ge]", Kernel::Solve, k_solve_trsm);
+  register_kernel(KernelOp::SolveGemm, Rep::Dense, f64, Rep::None, f64,
+                  "solve_gemm[ge]", Kernel::Solve, k_solve_gemm_dense);
+  register_kernel(KernelOp::SolveGemm, Rep::LowRank, f64, Rep::None, f64,
+                  "solve_gemm[lr]", Kernel::Solve, k_solve_gemm_lr);
+  register_kernel(KernelOp::SolveGemm, Rep::LowRank, f32, Rep::None, f64,
+                  "solve_gemm[lr32]", Kernel::Solve, k_solve_gemm_lr);
   // Mixed-precision promotion wrappers. Dense tiles are never fp32, so only
   // low-rank operand slots get Fp32 keys; the None slot of trsm/lr2lr
   // carries the target tile's precision instead.
@@ -571,6 +653,41 @@ void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
                                                 : KernelOp::Lr2Ge,
                                  rep_of(p), prec_of(p), Rep::None, prec_of(c),
                                  ctx);
+}
+
+void solve_trsm(const lr::Tile& diag, const std::vector<index_t>& piv,
+                la::DView xk, bool llt, bool backward) {
+  KernelCtx ctx;
+  ctx.diag = &diag.dense();
+  ctx.piv = const_cast<std::vector<index_t>*>(&piv);
+  ctx.view = xk;
+  ctx.llt = llt;
+  ctx.transpose = backward;
+  KernelDispatch::instance().run(KernelOp::SolveTrsm, Rep::Dense, Prec::Fp64,
+                                 Rep::None, Prec::Fp64, ctx);
+}
+
+void position_solve_gemm(KernelCtx& ctx, const lr::Tile& blk, la::DConstView u,
+                         la::DConstView v, la::DConstView xin, la::DView xout,
+                         bool backward) {
+  ctx.a = &blk;
+  ctx.in = xin;
+  ctx.view = xout;
+  ctx.transpose = backward;
+  if (blk.is_lowrank()) {
+    // Forward applies u·(vᵗ·xin), backward v·(uᵗ·xin): swap the factor
+    // roles here so the kernel body is direction-agnostic.
+    ctx.su = backward ? v : u;
+    ctx.sv = backward ? u : v;
+  }
+}
+
+void solve_gemm(const lr::Tile& blk, la::DConstView u, la::DConstView v,
+                la::DConstView xin, la::DView xout, bool backward) {
+  KernelCtx ctx;
+  position_solve_gemm(ctx, blk, u, v, xin, xout, backward);
+  KernelDispatch::instance().run(KernelOp::SolveGemm, rep_of(blk),
+                                 prec_of(blk), Rep::None, Prec::Fp64, ctx);
 }
 
 std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,

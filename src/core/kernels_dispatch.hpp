@@ -26,6 +26,8 @@ enum class KernelOp : int {
   Lr2Lr,     ///< extend-add of a contribution into a low-rank tile (§3.3.2)
   Lr2Ge,     ///< extend-add of a contribution into dense storage
   Compress,  ///< rank-revealing compression of a dense tile
+  SolveTrsm, ///< triangular-solve diagonal apply on one RHS segment (§16)
+  SolveGemm, ///< triangular-solve panel update of one RHS segment (§16)
   kCount
 };
 
@@ -58,7 +60,10 @@ struct KernelCtx {
   const lr::Tile* a = nullptr;  ///< left operand / contribution
   const lr::Tile* b = nullptr;  ///< right operand
   la::DView view;               ///< positioned dense destination (fused paths)
-  la::DConstView in;            ///< dense input (Compress)
+  la::DConstView in;            ///< dense input (Compress, SolveGemm)
+  la::DConstView su, sv;        ///< positioned low-rank factors (SolveGemm):
+                                ///< view -= su·(svᵗ·in), always fp64 (fp32
+                                ///< tiles pass their widen-cache copies)
   const la::DMatrix* diag = nullptr;       ///< factored diagonal (Trsm)
   std::vector<index_t>* piv = nullptr;     ///< pivots: out (Getrf), in (Trsm)
   index_t roff = 0, coff = 0;   ///< target offsets (extend-add)
@@ -220,6 +225,25 @@ void extend_add(lr::Tile& c, const lr::Tile& p, index_t roff, index_t coff,
 /// the tolerance is unreachable within max_rank.
 std::optional<lr::LrMatrix> compress(lr::CompressionKind kind, la::DConstView a,
                                      real_t tol, index_t max_rank);
+
+/// Triangular-solve diagonal apply on the RHS segment `xk` (DESIGN.md §16):
+/// forward (`backward == false`) applies the local pivots (LU) then the
+/// lower solve; backward applies Lᵗ (LLᵗ) or U (LU).
+void solve_trsm(const lr::Tile& diag, const std::vector<index_t>& piv,
+                la::DView xk, bool llt, bool backward);
+
+/// Position `ctx` for one SolveGemm dispatch — shared between the eager
+/// wrapper below and the PerSupernode solve batching in numeric.cpp. `u`/`v`
+/// are the panel tile's low-rank factors *already widened to fp64* (empty
+/// views for a dense tile); forward computes xout -= blk·xin, backward
+/// xout -= blkᵗ·xin (factor roles swap for low-rank tiles).
+void position_solve_gemm(KernelCtx& ctx, const lr::Tile& blk, la::DConstView u,
+                         la::DConstView v, la::DConstView xin, la::DView xout,
+                         bool backward);
+
+/// Triangular-solve panel update of one RHS segment (eager dispatch).
+void solve_gemm(const lr::Tile& blk, la::DConstView u, la::DConstView v,
+                la::DConstView xin, la::DView xout, bool backward);
 
 /// Warm-started variant: seeds the kernel with `rank_guess` (the rank this
 /// block reached in the previous numeric pass, plus slack). Verify-and-grow

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <sstream>
@@ -97,6 +98,9 @@ NumericFactor::NumericFactor(const sparse::CscMatrix& a,
   pctx_.warm_counters = &warm_counters_;
   if (reuse_.dag != nullptr && reuse_.dag->llt() != llt_) reuse_.dag = nullptr;
   if (!opts_.reuse_buffers) reuse_.buffers = nullptr;
+  iperm_.resize(ord_.perm.size());
+  for (std::size_t i = 0; i < ord_.perm.size(); ++i)
+    iperm_[static_cast<std::size_t>(ord_.perm[i])] = static_cast<index_t>(i);
   ap_ = a.permuted(ord_.perm);
   if (!llt_) apt_ = ap_.transposed();
   input_track_ = TrackedAlloc(
@@ -1231,123 +1235,300 @@ index_t NumericFactor::apply_update(index_t k, index_t bi, index_t bj) {
   return loc.tcblk;
 }
 
-void NumericFactor::solve_permuted(la::DView x) const {
-  KernelTimer timer(Kernel::Solve);
+// ---------------------------------------------------------------------------
+// Solve phase (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+void NumericFactor::set_solve_context(std::shared_ptr<const SolvePlan> plan,
+                                      std::shared_ptr<SolveEngine> engine) {
+  splan_ = std::move(plan);
+  sengine_ = std::move(engine);
+}
+
+void NumericFactor::build_widen_cache() const {
+  if (num_fp32_blocks() == 0) return;  // pure-fp64 factors: nothing to widen
+  const index_t ncblk = sf_.num_cblks();
+  std::size_t bytes = 0;
+  std::uint64_t tiles = 0;
+  std::vector<WidenedPanel> w(static_cast<std::size_t>(ncblk));
+  const auto widen = [&](const lr::Tile& blk, la::DMatrix& u, la::DMatrix& v) {
+    if (blk.precision() != lr::Precision::Fp32) return;
+    const lr::LrMatrix& f = blk.lr();
+    u.reshape(f.u32.rows(), f.u32.cols());
+    la::convert(f.u32.cview(), u.view());
+    v.reshape(f.v32.rows(), f.v32.cols());
+    la::convert(f.v32.cview(), v.view());
+    bytes += u.bytes() + v.bytes();
+    ++tiles;
+  };
+  for (index_t k = 0; k < ncblk; ++k) {
+    const CblkData& cd = data_[static_cast<std::size_t>(k)];
+    WidenedPanel& wp = w[static_cast<std::size_t>(k)];
+    wp.lu.resize(cd.lpanel.size());
+    wp.lv.resize(cd.lpanel.size());
+    for (std::size_t i = 0; i < cd.lpanel.size(); ++i)
+      widen(cd.lpanel[i], wp.lu[i], wp.lv[i]);
+    if (!llt_) {
+      wp.uu.resize(cd.upanel.size());
+      wp.uv.resize(cd.upanel.size());
+      for (std::size_t i = 0; i < cd.upanel.size(); ++i)
+        widen(cd.upanel[i], wp.uu[i], wp.uv[i]);
+    }
+  }
+  widen_ = std::move(w);
+  widen_tiles_ = tiles;
+  widen_bytes_ = bytes;
+  widen_track_.resize(bytes);
+}
+
+void NumericFactor::solve_lr_views(index_t k, index_t bi, bool upper,
+                                   const lr::Tile& blk, la::DConstView& u,
+                                   la::DConstView& v) const {
+  if (blk.precision() == lr::Precision::Fp32) {
+    // Widened once per factor on the first solve — every later use is a
+    // cache hit instead of a fresh fp32→fp64 promotion pass.
+    const WidenedPanel& wp = widen_[static_cast<std::size_t>(k)];
+    const std::size_t i = static_cast<std::size_t>(bi);
+    u = (upper ? wp.uu : wp.lu)[i].cview();
+    v = (upper ? wp.uv : wp.lv)[i].cview();
+    widen_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    u = blk.lr().u.cview();
+    v = blk.lr().v.cview();
+  }
+}
+
+void NumericFactor::solve_fwd_diag(index_t k, la::DView x) const {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const CblkData& cd = data_[static_cast<std::size_t>(k)];
+  dispatch::solve_trsm(cd.diag, cd.ipiv, x.sub(c.fcol, 0, c.width(), x.cols),
+                       llt_, /*backward=*/false);
+}
+
+void NumericFactor::solve_fwd_upd(index_t k, index_t bi, la::DView x) const {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const lr::Tile& blk = cd.lpanel[static_cast<std::size_t>(bi)];
+  if (blk.rank() == 0) return;
+  const symbolic::Blok& b = c.bloks[static_cast<std::size_t>(bi)];
+  const la::DConstView xk(x.sub(c.fcol, 0, c.width(), x.cols));
+  la::DView xi = x.sub(b.frow, 0, b.height(), x.cols);
+  la::DConstView u, v;
+  if (blk.is_lowrank()) solve_lr_views(k, bi, /*upper=*/false, blk, u, v);
+  dispatch::solve_gemm(blk, u, v, xk, xi, /*backward=*/false);
+}
+
+void NumericFactor::solve_bwd_upd(index_t k, index_t bi, la::DView x) const {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const CblkData& cd = data_[static_cast<std::size_t>(k)];
+  const lr::Tile& blk = llt_ ? cd.lpanel[static_cast<std::size_t>(bi)]
+                             : cd.upanel[static_cast<std::size_t>(bi)];
+  if (blk.rank() == 0) return;
+  const symbolic::Blok& b = c.bloks[static_cast<std::size_t>(bi)];
+  const la::DConstView xi(x.sub(b.frow, 0, b.height(), x.cols));
+  la::DView xk = x.sub(c.fcol, 0, c.width(), x.cols);
+  la::DConstView u, v;
+  if (blk.is_lowrank()) solve_lr_views(k, bi, /*upper=*/!llt_, blk, u, v);
+  dispatch::solve_gemm(blk, u, v, xi, xk, /*backward=*/true);
+}
+
+void NumericFactor::solve_bwd_diag(index_t k, la::DView x) const {
+  const symbolic::Cblk& c = sf_.cblk(k);
+  const CblkData& cd = data_[static_cast<std::size_t>(k)];
+  dispatch::solve_trsm(cd.diag, cd.ipiv, x.sub(c.fcol, 0, c.width(), x.cols),
+                       llt_, /*backward=*/true);
+}
+
+bool NumericFactor::run_solve_task(const SolveTask& t, la::DView x) const {
+  switch (t.kind) {
+    case SolveTaskKind::FwdDiag: solve_fwd_diag(t.k, x); break;
+    case SolveTaskKind::FwdUpd: solve_fwd_upd(t.k, t.bi, x); break;
+    case SolveTaskKind::BwdUpd: solve_bwd_upd(t.k, t.bi, x); break;
+    case SolveTaskKind::BwdDiag: solve_bwd_diag(t.k, x); break;
+  }
+  return true;
+}
+
+void NumericFactor::solve_seq(la::DView x, ThreadPool* batch_pool,
+                              std::uint64_t& ops) const {
   const index_t ncblk = sf_.num_cblks();
   const index_t nrhs = x.cols;
-  la::DMatrix tmp;
-  la::DMatrix pu, pv;  // fp64 scratch for fp32-at-rest factors
-  // Fp64 tiles hand out their factors directly (the solve stays
-  // bit-identical to the pure-fp64 build); fp32 tiles are widened into the
-  // reused scratch pair first so all solve arithmetic runs in fp64.
-  const auto lr_views = [&pu, &pv](const lr::Tile& blk, la::DConstView& u,
-                                   la::DConstView& v) {
-    if (blk.precision() == lr::Precision::Fp32) {
-      const lr::LrMatrix& f = blk.lr();
-      pu.reshape(f.u32.rows(), f.u32.cols());
-      la::convert(f.u32.cview(), pu.view());
-      pv.reshape(f.v32.rows(), f.v32.cols());
-      la::convert(f.v32.cview(), pv.view());
-      u = pu.cview();
-      v = pv.cview();
-    } else {
-      u = blk.lr().u.cview();
-      v = blk.lr().v.cview();
-    }
-  };
+  const bool batching = opts_.batching == Batching::PerSupernode;
+  KernelBatch batch(batch_pool);
 
-  // Forward substitution: L·Y = (locally pivoted) B.
+  // Forward substitution: L·Y = (locally pivoted) B. A supernode's panel
+  // updates write disjoint row segments, so under PerSupernode batching they
+  // group into same-shape batched dispatches (fp32 tiles resolve through the
+  // widen cache first, so every batched operand pair is stable fp64 — the
+  // pack cache can reuse operand images across solves).
   for (index_t k = 0; k < ncblk; ++k) {
     const symbolic::Cblk& c = sf_.cblk(k);
     const CblkData& cd = data_[static_cast<std::size_t>(k)];
-    const la::DConstView diag = cd.diag.dense().cview();
     la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
-    if (!llt_) {
-      for (std::size_t j = 0; j < cd.ipiv.size(); ++j) {
-        const index_t p = cd.ipiv[j];
-        if (p != static_cast<index_t>(j)) {
-          for (index_t r = 0; r < nrhs; ++r)
-            std::swap(xk(static_cast<index_t>(j), r), xk(p, r));
-        }
-      }
-      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::Unit,
-               real_t(1), diag, xk);
-    } else {
-      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::No, la::Diag::NonUnit,
-               real_t(1), diag, xk);
-    }
+    dispatch::solve_trsm(cd.diag, cd.ipiv, xk, llt_, /*backward=*/false);
+    ++ops;
     for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
       const lr::Tile& blk = cd.lpanel[idx];
       if (blk.rank() == 0) continue;
       la::DView xi = x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
-      if (blk.is_lowrank()) {
-        la::DConstView bu, bv;
-        lr_views(blk, bu, bv);
-        tmp.reshape(blk.rank(), nrhs);
-        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), bv,
-                 la::DConstView(xk), real_t(0), tmp.view());
-        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), bu, tmp.cview(),
-                 real_t(1), xi);
+      la::DConstView u, v;
+      if (blk.is_lowrank())
+        solve_lr_views(k, static_cast<index_t>(idx), /*upper=*/false, blk, u, v);
+      if (batching) {
+        KernelCtx& kc =
+            batch.enqueue(KernelOp::SolveGemm, rep_of(blk), prec_of(blk),
+                          Rep::None, Prec::Fp64);
+        dispatch::position_solve_gemm(kc, blk, u, v, la::DConstView(xk), xi,
+                                      /*backward=*/false);
       } else {
-        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), blk.dense().cview(),
-                 la::DConstView(xk), real_t(1), xi);
+        dispatch::solve_gemm(blk, u, v, la::DConstView(xk), xi,
+                             /*backward=*/false);
       }
+      ++ops;
     }
+    batch.execute();  // no-op when empty; targets within k are disjoint
   }
 
-  // Backward substitution: U·X = Y (or Lᵗ·X = Y for Cholesky).
+  // Backward substitution: U·X = Y (or Lᵗ·X = Y for Cholesky). Every update
+  // of supernode k accumulates into the SAME xk segment, so this sweep stays
+  // eager — batching would reorder a reduction and break bit-identity.
   for (index_t k = ncblk - 1; k >= 0; --k) {
     const symbolic::Cblk& c = sf_.cblk(k);
     const CblkData& cd = data_[static_cast<std::size_t>(k)];
-    const la::DConstView diag = cd.diag.dense().cview();
     la::DView xk = x.sub(c.fcol, 0, c.width(), nrhs);
     for (std::size_t idx = 0; idx < c.bloks.size(); ++idx) {
       const lr::Tile& blk = llt_ ? cd.lpanel[idx] : cd.upanel[idx];
       if (blk.rank() == 0) continue;
       const la::DConstView xi =
           x.sub(c.bloks[idx].frow, 0, c.bloks[idx].height(), nrhs);
-      // xk -= blokᵗ·x_rows (both panels are stored rows x width).
-      if (blk.is_lowrank()) {
-        la::DConstView bu, bv;
-        lr_views(blk, bu, bv);
-        tmp.reshape(blk.rank(), nrhs);
-        la::gemm(la::Trans::Yes, la::Trans::No, real_t(1), bu, xi, real_t(0),
-                 tmp.view());
-        la::gemm(la::Trans::No, la::Trans::No, real_t(-1), bv, tmp.cview(),
-                 real_t(1), xk);
-      } else {
-        la::gemm(la::Trans::Yes, la::Trans::No, real_t(-1), blk.dense().cview(), xi,
-                 real_t(1), xk);
+      la::DConstView u, v;
+      if (blk.is_lowrank())
+        solve_lr_views(k, static_cast<index_t>(idx), /*upper=*/!llt_, blk, u, v);
+      dispatch::solve_gemm(blk, u, v, xi, xk, /*backward=*/true);
+      ++ops;
+    }
+    dispatch::solve_trsm(cd.diag, cd.ipiv, xk, llt_, /*backward=*/true);
+    ++ops;
+  }
+}
+
+void NumericFactor::solve_split(la::DView x, ThreadPool* pool,
+                                SolveRunInfo& ri) const {
+  // Wide multi-RHS batch: chunk the columns and run each chunk as an
+  // independent sequential sweep. Bit-identity with the unsplit sweep rests
+  // on the multi-RHS gemm contract: every output column is computed exactly
+  // as it would be in any other column grouping (DESIGN.md §14).
+  const index_t nchunks =
+      std::min<index_t>(x.cols, 2 * static_cast<index_t>(pool->size()));
+  const index_t base = x.cols / nchunks;
+  const index_t rem = x.cols % nchunks;
+  std::atomic<std::uint64_t> ops{0};
+  pool->parallel_for(nchunks, [&](index_t i) {
+    const index_t c0 = i * base + std::min(i, rem);
+    const index_t w = base + (i < rem ? 1 : 0);
+    std::uint64_t local = 0;
+    solve_seq(x.sub(0, c0, x.rows, w), nullptr, local);
+    ops.fetch_add(local, std::memory_order_relaxed);
+  });
+  ri.tasks += ops.load(std::memory_order_relaxed);
+  ri.column_split = true;
+}
+
+void NumericFactor::solve_permuted(la::DView x, SolveRunInfo* info) const {
+  // Per-factor caches are built lazily on the first solve; a refactorize
+  // creates a fresh NumericFactor, which invalidates them wholesale.
+  std::call_once(widen_once_, [this] { build_widen_cache(); });
+  const std::uint64_t hits0 = widen_hits_.load(std::memory_order_relaxed);
+  SolveRunInfo ri;
+  bool done = false;
+  if (sengine_ != nullptr) {
+    // The solve pool's wait_idle-based drain cannot be shared by two
+    // concurrent solves; a loser of this try_lock (e.g. a second session
+    // snapshot solving the same factors) takes the sequential sweep instead
+    // of blocking.
+    std::unique_lock<std::mutex> lk(sengine_->mu, std::try_to_lock);
+    if (lk.owns_lock()) {
+      ThreadPool* pool = &sengine_->pool;
+      if (x.cols >= 2 * static_cast<index_t>(pool->size()) && x.cols > 1) {
+        solve_split(x, pool, ri);
+        done = true;
+      } else if (splan_ != nullptr) {
+        std::mutex err_mu;
+        std::exception_ptr err;
+        const DepDrainStats ds =
+            splan_->execute(pool, [&](std::uint32_t id) {
+              try {
+                return run_solve_task(splan_->task(id), x);
+              } catch (...) {
+                std::lock_guard guard(err_mu);
+                if (!err) err = std::current_exception();
+                return false;  // stop releasing successors
+              }
+            });
+        if (err) std::rethrow_exception(err);
+        ri.tasks += ds.executed;
+        ri.parallel = true;
+        ri.plan_reused = true;
+        done = true;
       }
     }
-    if (llt_) {
-      la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::Yes, la::Diag::NonUnit,
-               real_t(1), diag, xk);
-    } else {
-      la::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit,
-               real_t(1), diag, xk);
+  }
+  if (!done) {
+    std::uint64_t ops = 0;
+    solve_seq(x, nullptr, ops);
+    ri.tasks += ops;
+    ri.plan_reused = false;
+  }
+  ri.widen_hits = widen_hits_.load(std::memory_order_relaxed) - hits0;
+  if (info != nullptr) *info = ri;
+}
+
+std::unique_ptr<NumericFactor::SolveScratch> NumericFactor::acquire_scratch(
+    index_t rows, index_t cols) const {
+  std::unique_ptr<SolveScratch> s;
+  {
+    std::lock_guard guard(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      s = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
     }
   }
+  if (!s) s = std::make_unique<SolveScratch>();
+  // reshape() keeps the vector capacity when it suffices, so repeated
+  // same-shape solves reuse the allocation.
+  s->m.reshape(rows, cols);
+  s->track.resize(s->m.bytes());
+  return s;
+}
+
+void NumericFactor::release_scratch(std::unique_ptr<SolveScratch> s) const {
+  std::lock_guard guard(scratch_mu_);
+  if (scratch_pool_.size() < 8) scratch_pool_.push_back(std::move(s));
 }
 
 void NumericFactor::solve(const real_t* b, real_t* x) const {
   solve(la::DConstView(b, sf_.n(), 1, sf_.n()), la::DView(x, sf_.n(), 1, sf_.n()));
 }
 
-void NumericFactor::solve(la::DConstView b, la::DView x) const {
+void NumericFactor::solve(la::DConstView b, la::DView x,
+                          SolveRunInfo* info) const {
   const index_t n = sf_.n();
   BLR_CHECK(b.rows == n && x.rows == n && b.cols == x.cols,
             "solve: right-hand-side shape mismatch");
-  la::DMatrix xp(n, b.cols);
+  std::unique_ptr<SolveScratch> s = acquire_scratch(n, b.cols);
+  la::DMatrix& xp = s->m;
+  // Both permutation passes write column-contiguously (ascending row index
+  // into column-major storage); the gathers are the scattered side.
   for (index_t r = 0; r < b.cols; ++r) {
     for (index_t i = 0; i < n; ++i)
       xp(i, r) = b(ord_.perm[static_cast<std::size_t>(i)], r);
   }
-  solve_permuted(xp.view());
+  solve_permuted(xp.view(), info);
   for (index_t r = 0; r < b.cols; ++r) {
-    for (index_t i = 0; i < n; ++i)
-      x(ord_.perm[static_cast<std::size_t>(i)], r) = xp(i, r);
+    for (index_t j = 0; j < n; ++j)
+      x(j, r) = xp(iperm_[static_cast<std::size_t>(j)], r);
   }
+  release_scratch(std::move(s));
 }
 
 std::size_t NumericFactor::final_entries() const {

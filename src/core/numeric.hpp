@@ -13,6 +13,7 @@
 #include "common/timer.hpp"
 #include "core/options.hpp"
 #include "core/rank_memory.hpp"
+#include "core/solve_plan.hpp"
 #include "core/task_graph.hpp"
 #include "core/update_policy.hpp"
 #include "lowrank/buffer_pool.hpp"
@@ -84,6 +85,32 @@ struct NumericReuse {
   const TaskGraph* dag = nullptr;      ///< prebuilt Dag skeleton
 };
 
+/// Dedicated thread pool for the parallel solve phase (DESIGN.md §16),
+/// owned by the Solver and shared (by shared_ptr) with every NumericFactor
+/// it produces, so Session snapshots keep the pool alive across
+/// refactorize(). Separate from the factorization pool because the solve
+/// drain blocks on wait_idle(), which must never observe another user's
+/// tasks. `mu` admits one pooled drain at a time: a concurrent solve()
+/// falls back to the sequential sweep instead of queueing — same bits,
+/// and const solve() calls stay safe under concurrency.
+struct SolveEngine {
+  ThreadPool pool;
+  std::mutex mu;
+  explicit SolveEngine(int threads)
+      : pool(threads, SchedulerKind::WorkStealing) {}
+};
+
+/// What one solve call actually did (optional out-param of
+/// NumericFactor::solve / solve_permuted; feeds SolvePhaseStats and the
+/// per-request Session::SolveStats).
+struct SolveRunInfo {
+  std::uint64_t tasks = 0;       ///< solve-plan task bodies run
+  bool parallel = false;         ///< drained the solve DAG over the pool
+  bool column_split = false;     ///< wide batch ran as parallel column chunks
+  bool plan_reused = false;      ///< a cached SolvePlan drove the execution
+  std::uint64_t widen_hits = 0;  ///< fp32 widen-cache hits during this call
+};
+
 /// The supernodal numeric factorization: one right-looking driver over
 /// tiles, parameterized by an UpdatePolicy (Dense baseline, Just-In-Time,
 /// Minimal Memory, Adaptive), for both LU (general, symmetric pattern) and
@@ -114,8 +141,13 @@ public:
   void factorize(ThreadPool* pool);
 
   /// Triangular solves in the permuted index space on a block of right-hand
-  /// sides (n x nrhs, in/out).
-  void solve_permuted(la::DView x) const;
+  /// sides (n x nrhs, in/out). With a solve context attached (see
+  /// set_solve_context) the call drains the cached SolvePlan over the solve
+  /// pool — or splits wide multi-RHS batches into parallel column chunks —
+  /// and is memcmp-identical to the sequential two-sweep either way.
+  /// `info` (optional) reports what the call actually did.
+  void solve_permuted(la::DView x, SolveRunInfo* info) const;
+  void solve_permuted(la::DView x) const { solve_permuted(x, nullptr); }
   void solve_permuted(real_t* x) const {
     solve_permuted(la::DView(x, sf_.n(), 1, sf_.n()));
   }
@@ -124,7 +156,24 @@ public:
   void solve(const real_t* b, real_t* x) const;
 
   /// Multi-RHS variant: X = A⁻¹·B (both n x nrhs; aliasing allowed).
-  void solve(la::DConstView b, la::DView x) const;
+  void solve(la::DConstView b, la::DView x, SolveRunInfo* info = nullptr) const;
+
+  /// Attach the solve-phase execution context (DESIGN.md §16): the cached
+  /// SolvePlan for this factor's symbolic structure plus the Solver's
+  /// shared solve engine. Without a context, solves run the sequential
+  /// two-sweep. Called by the Solver after each successful factorization.
+  void set_solve_context(std::shared_ptr<const SolvePlan> plan,
+                         std::shared_ptr<SolveEngine> engine);
+
+  /// fp32 widen-cache introspection (DESIGN.md §16): bytes/tiles currently
+  /// held, and cumulative factor reuses served. All zero until the first
+  /// solve of a factor holding fp32-at-rest tiles; the cache dies with the
+  /// factor, so refactorize() invalidates it wholesale.
+  [[nodiscard]] std::size_t widen_cache_bytes() const { return widen_bytes_; }
+  [[nodiscard]] std::uint64_t widen_cache_tiles() const { return widen_tiles_; }
+  [[nodiscard]] std::uint64_t widen_hits() const {
+    return widen_hits_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] bool is_llt() const { return llt_; }
   [[nodiscard]] const symbolic::SymbolicFactor& symbolic() const { return sf_; }
@@ -258,6 +307,38 @@ private:
   /// kind: called once per compression site.
   void maybe_fail_compression(index_t k);
 
+  // ---- solve phase (DESIGN.md §16) -----------------------------------
+  /// One task body of the two-sweep solve on RHS block x.
+  void solve_fwd_diag(index_t k, la::DView x) const;
+  void solve_fwd_upd(index_t k, index_t bi, la::DView x) const;
+  void solve_bwd_upd(index_t k, index_t bi, la::DView x) const;
+  void solve_bwd_diag(index_t k, la::DView x) const;
+  bool run_solve_task(const SolveTask& t, la::DView x) const;
+  /// Resolve a panel tile's low-rank factors as fp64 views; fp32 tiles
+  /// resolve through the widen cache (counting a hit).
+  void solve_lr_views(index_t k, index_t bi, bool upper, const lr::Tile& blk,
+                      la::DConstView& u, la::DConstView& v) const;
+  /// The sequential two-sweep over x. Under Batching::PerSupernode each
+  /// supernode's panel updates run as one batched dispatch (chunks spread
+  /// over `batch_pool` when non-null). Adds the operations run to `ops`.
+  void solve_seq(la::DView x, ThreadPool* batch_pool, std::uint64_t& ops) const;
+  /// Wide multi-RHS path: split x into column chunks solved as independent
+  /// sequential sweeps on the pool (bit-identical per column).
+  void solve_split(la::DView x, ThreadPool* pool, SolveRunInfo& ri) const;
+  /// Build the per-epoch fp64 copies of every fp32-at-rest factor
+  /// (Workspace-charged; no-op when the factor holds no fp32 tiles).
+  void build_widen_cache() const;
+
+  /// Reusable Workspace-tracked permutation scratch (one block per
+  /// concurrent solve() call, pooled across calls).
+  struct SolveScratch {
+    la::DMatrix m;
+    TrackedAlloc track{MemCategory::Workspace, 0};
+  };
+  [[nodiscard]] std::unique_ptr<SolveScratch> acquire_scratch(
+      index_t rows, index_t cols) const;
+  void release_scratch(std::unique_ptr<SolveScratch> s) const;
+
   // ---- resource governance (DESIGN.md §13) ---------------------------
   /// Deadline watchdog poll from the hot loops: throws ResourceError
   /// (Deadline, stamped with supernode k) once the governed deadline passed.
@@ -333,6 +414,28 @@ private:
   std::unique_ptr<EpochGate> epochs_;
   std::vector<std::unique_ptr<DagUpdateSlot>> dag_slots_;
   DagStats dag_stats_;
+
+  // ---- solve phase (DESIGN.md §16) state ------------------------------
+  std::shared_ptr<const SolvePlan> splan_;   ///< cached solve schedule
+  std::shared_ptr<SolveEngine> sengine_;     ///< shared solve pool (may be null)
+  std::vector<index_t> iperm_;  ///< inverse permutation: x(j) = xp(iperm_[j])
+  /// fp32 widen cache: per-cblk fp64 copies of the fp32-at-rest U/V
+  /// factors, built once per factor (on the first solve) under
+  /// `widen_once_` and charged to Workspace. Inner vectors are indexed by
+  /// blok and empty-matrix for tiles that are not fp32 low-rank.
+  struct WidenedPanel {
+    std::vector<la::DMatrix> lu, lv;  ///< L-panel factor copies
+    std::vector<la::DMatrix> uu, uv;  ///< U-panel copies (LU only)
+  };
+  mutable std::vector<WidenedPanel> widen_;
+  mutable TrackedAlloc widen_track_{MemCategory::Workspace, 0};
+  mutable std::once_flag widen_once_;
+  mutable std::uint64_t widen_tiles_ = 0;
+  mutable std::size_t widen_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> widen_hits_{0};
+  /// Permutation-scratch pool (guarded by scratch_mu_).
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SolveScratch>> scratch_pool_;
 };
 
 } // namespace blr::core

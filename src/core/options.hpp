@@ -237,6 +237,21 @@ struct SolverOptions {
   lr::CompressionKind kind = lr::CompressionKind::Rrqr;
   real_t tolerance = 1e-8;  ///< block compression tolerance τ (default 1e-8); read by every compressing strategy
   int threads = 1;          ///< worker threads for the numeric factorization (default 1 = sequential); read by every strategy
+
+  /// Parallel triangular-solve phase (default on; DESIGN.md §16). Solves
+  /// drain the cached SolvePlan DAG over a dedicated solve pool — with
+  /// column splitting for wide multi-RHS batches — and are memcmp-identical
+  /// to the sequential two-sweep at every thread count. Only takes effect
+  /// when the effective solve thread count (below) is > 1; concurrent
+  /// solve() calls beyond the first fall back to the sequential sweep
+  /// rather than queueing.
+  bool solve_parallel = true;
+
+  /// Worker threads for the solve phase; 0 (default) inherits `threads`.
+  /// The solve pool is separate from the factorization pool, so a Session
+  /// can serve parallel solves while a refactorize() runs on the other
+  /// pool. Read at Solver construction.
+  int solve_threads = 0;
   /// Right-looking (default, the paper's setup) or left-looking traversal.
   /// Left-looking is sequential-only and mainly benefits JustInTime's
   /// memory peak (§4.3).

@@ -121,6 +121,7 @@ void Session::flush_batch(std::unique_lock<std::mutex>& lk) {
 
   Timer solve_timer;
   std::string error;
+  SolveRunInfo ri;
   {
     // Coalesce into one column-major block; each column of the blocked
     // solve is bit-identical to the corresponding single-RHS solve (the
@@ -132,7 +133,7 @@ void Session::flush_batch(std::unique_lock<std::mutex>& lk) {
                   bm.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(n));
     }
     try {
-      snap->solve(bm.cview(), xm.view());
+      snap->solve(bm.cview(), xm.view(), &ri);
       for (index_t j = 0; j < m; ++j) {
         std::copy_n(xm.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(n),
                     n, batch[static_cast<std::size_t>(j)]->x);
@@ -146,6 +147,11 @@ void Session::flush_batch(std::unique_lock<std::mutex>& lk) {
   lk.lock();
   for (Request* r : batch) {
     r->st.solve_seconds = solve_s;
+    r->st.solve_tasks = ri.tasks;
+    r->st.parallel = ri.parallel;
+    r->st.column_split = ri.column_split;
+    r->st.plan_reused = ri.plan_reused;
+    r->st.widen_hits = ri.widen_hits;
     r->failed = !error.empty();
     r->error = error;
     r->done = true;

@@ -1,0 +1,106 @@
+#include "core/solve_plan.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "core/symbolic_plan.hpp"
+
+namespace blr::core {
+
+const char* solve_task_kind_name(SolveTaskKind k) {
+  switch (k) {
+    case SolveTaskKind::FwdDiag: return "fwd_diag";
+    case SolveTaskKind::FwdUpd: return "fwd_upd";
+    case SolveTaskKind::BwdUpd: return "bwd_upd";
+    case SolveTaskKind::BwdDiag: return "bwd_diag";
+  }
+  return "?";
+}
+
+SolvePlan SolvePlan::build(const symbolic::SymbolicFactor& sf) {
+  SolvePlan p;
+  const index_t ncblk = sf.num_cblks();
+
+  // Exact task/access counts so the builder's vectors allocate once.
+  std::uint64_t ntasks = 0, naccess = 0;
+  for (index_t k = 0; k < ncblk; ++k) {
+    const std::uint64_t nb = sf.cblk(k).bloks.size();
+    ntasks += 2 + 2 * nb;
+    naccess += 2 + 4 * nb;
+  }
+
+  DepBuilder b;
+  b.reserve(ntasks, naccess);
+  p.tasks_.reserve(ntasks);
+  const auto declare = [&](SolveTask t) {
+    const std::uint32_t id = b.add_task();
+    p.tasks_.push_back(t);
+    return id;
+  };
+  // RHS row-segment address space: one address per supernode, covering the
+  // segment x[fcol, lcol). Updates land in row *sub-ranges* of the target
+  // segment, so segment granularity is conservative — which is exactly what
+  // serializes overlapping-row accumulations from different descendants into
+  // the sequential order (the write chain that pins bitwise determinism).
+  const auto seg = [](index_t k) { return static_cast<std::uint64_t>(k); };
+
+  // Canonical order = the sequential two-sweep execution order of
+  // solve_permuted, so task ids are its sequence numbers and every inferred
+  // edge points forward.
+  for (index_t k = 0; k < ncblk; ++k) {
+    const auto& bloks = sf.cblk(k).bloks;
+    const std::uint32_t did = declare({SolveTaskKind::FwdDiag, k, -1});
+    b.write(did, seg(k));
+    for (index_t bi = 0; bi < static_cast<index_t>(bloks.size()); ++bi) {
+      const std::uint32_t uid = declare({SolveTaskKind::FwdUpd, k, bi});
+      b.read(uid, seg(k));
+      b.write(uid, seg(bloks[static_cast<std::size_t>(bi)].fcblk));
+    }
+  }
+  for (index_t k = ncblk; k-- > 0;) {
+    const auto& bloks = sf.cblk(k).bloks;
+    for (index_t bi = 0; bi < static_cast<index_t>(bloks.size()); ++bi) {
+      const std::uint32_t uid = declare({SolveTaskKind::BwdUpd, k, bi});
+      b.read(uid, seg(bloks[static_cast<std::size_t>(bi)].fcblk));
+      b.write(uid, seg(k));
+    }
+    const std::uint32_t did = declare({SolveTaskKind::BwdDiag, k, -1});
+    b.write(did, seg(k));
+  }
+
+  p.deps_ = b.infer();
+
+  // Critical-path depth per task (the pool priority: deep tasks release the
+  // longest remaining chains, so they go first), by one reverse sweep —
+  // edges all point forward, so ids in reverse are a topological order.
+  p.prio_.assign(p.tasks_.size(), 1);
+  for (std::uint32_t t = static_cast<std::uint32_t>(p.tasks_.size());
+       t-- > 0;) {
+    const std::uint32_t* s = p.deps_.succ.data() + p.deps_.succ_offset[t];
+    const std::uint32_t* e = p.deps_.succ.data() + p.deps_.succ_offset[t + 1];
+    for (const std::uint32_t* q = s; q != e; ++q)
+      p.prio_[t] = std::max(p.prio_[t], p.prio_[*q] + 1);
+    p.critical_path_ = std::max<std::uint64_t>(
+        p.critical_path_, static_cast<std::uint64_t>(p.prio_[t]));
+  }
+  return p;
+}
+
+DepDrainStats SolvePlan::execute(
+    ThreadPool* pool, const std::function<bool(std::uint32_t)>& body) const {
+  return drain_deps(deps_, pool, body,
+                    [this](std::uint32_t id) { return prio_[id]; });
+}
+
+std::shared_ptr<const SolvePlan> SymbolicPlan::solve_plan(bool* built) const {
+  std::lock_guard<std::mutex> lock(*solve_plan_mu_);
+  if (built != nullptr) *built = false;
+  if (!solve_plan_cache_) {
+    solve_plan_cache_ = std::make_shared<const SolvePlan>(SolvePlan::build(sf));
+    if (built != nullptr) *built = true;
+  }
+  return solve_plan_cache_;
+}
+
+} // namespace blr::core

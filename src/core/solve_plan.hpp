@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace blr {
+class ThreadPool;
+}
+
+namespace blr::core {
+
+/// The per-supernode operations of the two-sweep triangular solve
+/// (DESIGN.md §16). `FwdDiag`/`BwdDiag` are the diagonal-block TRSMs (the
+/// forward one applies the local pivots first); `FwdUpd`/`BwdUpd` are the
+/// per-panel-block RHS updates against one off-diagonal tile.
+enum class SolveTaskKind : std::uint8_t {
+  FwdDiag,  ///< pivot + L (or L of LLᵗ) diagonal solve of supernode k's segment
+  FwdUpd,   ///< forward update: seg(target) -= L_blok · seg(k)
+  BwdUpd,   ///< backward update: seg(k) -= U_blokᵗ · seg(target)
+  BwdDiag,  ///< U (or Lᵗ) diagonal solve of supernode k's segment
+};
+
+const char* solve_task_kind_name(SolveTaskKind k);
+
+/// One node of the solve DAG. `k` is the owning supernode; `bi` is the
+/// panel-block index for the update kinds (-1 for the diagonal kinds).
+struct SolveTask {
+  SolveTaskKind kind = SolveTaskKind::FwdDiag;
+  index_t k = -1;
+  index_t bi = -1;
+};
+
+/// The reusable triangular-solve schedule derived from one frozen symbolic
+/// structure (DESIGN.md §16): every operation of the forward and backward
+/// sweep as a task with read/write sets over the RHS row segments (one
+/// address per supernode), dependencies inferred by the PR 6 canonical-order
+/// machinery. Task ids are declared in the exact order the sequential sweep
+/// executes them, so the write chains make any topological execution — in
+/// particular the parallel pool drain — produce bits identical to the
+/// sequential sweep. Purely symbolic: built once per SymbolicPlan and shared
+/// by every numeric pass and session snapshot over that pattern, so repeated
+/// solves pay zero graph-build cost.
+class SolvePlan {
+public:
+  static SolvePlan build(const symbolic::SymbolicFactor& sf);
+
+  [[nodiscard]] std::uint32_t num_tasks() const {
+    return static_cast<std::uint32_t>(tasks_.size());
+  }
+  [[nodiscard]] const SolveTask& task(std::uint32_t id) const {
+    return tasks_[id];
+  }
+  [[nodiscard]] std::uint64_t num_edges() const { return deps_.num_edges; }
+  /// Longest dependency chain, in tasks (the depth bound on parallelism —
+  /// for the forward sweep this is the elimination-tree height).
+  [[nodiscard]] std::uint64_t critical_path() const { return critical_path_; }
+  /// Critical-path depth of one task: the pool priority (deep tasks first).
+  [[nodiscard]] std::int64_t priority(std::uint32_t id) const {
+    return prio_[id];
+  }
+  [[nodiscard]] const DepBuilder::Deps& deps() const { return deps_; }
+
+  /// Drain the solve DAG: sequentially in task-id order (== the legacy
+  /// two-sweep order) when `pool` is null, or released to the pool as
+  /// in-degrees reach zero. `body(id)` runs one task and returns false to
+  /// stop the drain cooperatively.
+  [[nodiscard]] DepDrainStats execute(
+      ThreadPool* pool, const std::function<bool(std::uint32_t)>& body) const;
+
+private:
+  std::vector<SolveTask> tasks_;
+  DepBuilder::Deps deps_;
+  std::vector<std::int64_t> prio_;  ///< critical-path depth per task
+  std::uint64_t critical_path_ = 0;
+};
+
+} // namespace blr::core

@@ -128,6 +128,13 @@ Solver::Solver(SolverOptions opts) : opts_(opts) {
   if (opts_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(opts_.threads, opts_.scheduler);
   }
+  // The solve phase drains its own pool: the factorization pool's
+  // wait_idle-based quiescence cannot be shared with a concurrent
+  // refactorize, and sessions overlap exactly those two phases.
+  const int st = opts_.solve_threads > 0 ? opts_.solve_threads : opts_.threads;
+  if (opts_.solve_parallel && st > 1) {
+    solve_engine_ = std::make_shared<SolveEngine>(st);
+  }
 }
 
 Solver::~Solver() = default;
@@ -437,6 +444,51 @@ void Solver::factorize_impl(const sparse::CscMatrix& a, bool warm) {
   stats_.buffer_hits = bp.hits;
   stats_.buffer_misses = bp.misses;
   stats_.refactorizations = refactorizations_;
+
+  // Attach the solve context: the schedule comes from the frozen plan's
+  // lazy cache (built on the first factorize, replayed verbatim by every
+  // refactorize), the engine is the solver-lifetime solve pool. The fresh
+  // NumericFactor starts with an empty widen cache — a refactorize
+  // invalidates the previous epoch's fp64 promotions wholesale.
+  bool plan_built = false;
+  std::shared_ptr<const SolvePlan> sp = plan_->solve_plan(&plan_built);
+  if (plan_built) {
+    ++stats_.solve_phase.plan_builds;
+  } else {
+    ++stats_.solve_phase.plan_reuses;
+  }
+  num_->set_solve_context(std::move(sp), solve_engine_);
+  stats_.solve_phase.widen_tiles = 0;
+  stats_.solve_phase.widen_bytes = 0;
+}
+
+void Solver::note_solve(const SolveRunInfo& ri, double seconds) const {
+  SolverStats& st = const_cast<SolverStats&>(stats_);
+  st.time_solve = seconds;
+  SolvePhaseStats& sp = st.solve_phase;
+  ++sp.solves;
+  sp.tasks_executed += ri.tasks;
+  if (ri.column_split) {
+    ++sp.split_solves;
+  } else if (ri.parallel) {
+    ++sp.parallel_solves;
+  } else {
+    ++sp.sequential_solves;
+  }
+  sp.widen_hits += ri.widen_hits;
+  sp.widen_tiles = num_->widen_cache_tiles();
+  sp.widen_bytes = num_->widen_cache_bytes();
+  // Re-snapshot the dispatch table so the solve kernels' rows appear in
+  // stats() without waiting for the next factorize (the table accumulates
+  // since the successful attempt's reset, so the factorization rows are
+  // unchanged — solves only grow the solve_* rows).
+  st.dispatch = KernelDispatch::instance().snapshot();
+  sp.trsm_seconds = 0;
+  sp.gemm_seconds = 0;
+  for (const DispatchCount& d : st.dispatch) {
+    if (d.kernel.rfind("solve_trsm", 0) == 0) sp.trsm_seconds += d.seconds;
+    if (d.kernel.rfind("solve_gemm", 0) == 0) sp.gemm_seconds += d.seconds;
+  }
 }
 
 void Solver::require_factors(const char* fn) const {
@@ -456,8 +508,10 @@ void Solver::require_factors(const char* fn) const {
 void Solver::solve(const real_t* b, real_t* x) const {
   require_factors("solve");
   Timer timer;
-  num_->solve(b, x);
-  const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
+  const index_t n = plan_->sf.n();
+  SolveRunInfo ri;
+  num_->solve(la::DConstView(b, n, 1, n), la::DView(x, n, 1, n), &ri);
+  note_solve(ri, timer.elapsed());
 }
 
 std::vector<real_t> Solver::solve(const std::vector<real_t>& b) const {
@@ -469,8 +523,9 @@ std::vector<real_t> Solver::solve(const std::vector<real_t>& b) const {
 void Solver::solve(la::DConstView b, la::DView x) const {
   require_factors("solve");
   Timer timer;
-  num_->solve(b, x);
-  const_cast<SolverStats&>(stats_).time_solve = timer.elapsed();
+  SolveRunInfo ri;
+  num_->solve(b, x, &ri);
+  note_solve(ri, timer.elapsed());
 }
 
 Preconditioner Solver::preconditioner() const {
@@ -578,6 +633,21 @@ void Solver::print_summary(std::ostream& os) const {
        << stats_.scheduler_idle_sleeps << " idle sleeps";
     if (stats_.scheduler_discarded > 0) {
       os << ", " << stats_.scheduler_discarded << " cancelled";
+    }
+    os << "\n";
+  }
+  if (stats_.solve_phase.solves > 0) {
+    const SolvePhaseStats& sp = stats_.solve_phase;
+    os << "  solve         : " << sp.solves << " solves ("
+       << sp.parallel_solves << " dag, " << sp.split_solves << " split, "
+       << sp.sequential_solves << " sequential), " << sp.tasks_executed
+       << " tasks, plan " << sp.plan_builds << " built / " << sp.plan_reuses
+       << " reused, trsm " << sp.trsm_seconds << " s, gemm "
+       << sp.gemm_seconds << " s";
+    if (sp.widen_tiles > 0) {
+      os << ", widen cache " << sp.widen_tiles << " tiles ("
+         << static_cast<double>(sp.widen_bytes) / 1e6 << " MB, "
+         << sp.widen_hits << " hits)";
     }
     os << "\n";
   }

@@ -148,9 +148,16 @@ private:
   /// last terminal failure embedded) when no successful factorization is
   /// held; `fn` names the rejected entry point.
   void require_factors(const char* fn) const;
+  /// Fold one solve's execution record into stats_ (solve is const — stats
+  /// capture uses the same const_cast pattern as time_solve always has).
+  void note_solve(const SolveRunInfo& ri, double seconds) const;
 
   SolverOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Dedicated solve-phase pool + its one-drain-at-a-time lock, shared with
+  /// every NumericFactor this solver produces (DESIGN.md §16). Null when
+  /// solve_parallel is off or the effective solve thread count is 1.
+  std::shared_ptr<SolveEngine> solve_engine_;
   std::shared_ptr<const SymbolicPlan> plan_;
   std::shared_ptr<NumericFactor> num_;
   /// Enforces memory_budget_bytes / deadline_ms across every attempt of one

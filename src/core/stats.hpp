@@ -95,6 +95,31 @@ struct SolveStats {
   index_t batch_size = 0;          ///< requests coalesced into the blocked solve
   double wait_seconds = 0;         ///< queue time before the blocked solve started
   double solve_seconds = 0;        ///< wall time of the blocked solve itself
+  // Solve-phase execution detail of the blocked solve that served this
+  // request (DESIGN.md §16).
+  std::uint64_t solve_tasks = 0;   ///< solve-plan task bodies the blocked solve ran
+  bool parallel = false;           ///< drained the solve DAG over the solve pool
+  bool column_split = false;       ///< wide batch ran as parallel column chunks
+  bool plan_reused = false;        ///< the cached SolvePlan served this solve
+  std::uint64_t widen_hits = 0;    ///< fp32 widen-cache hits during the solve
+};
+
+/// Solve-phase breakdown accumulated across every solve since analyze()
+/// (DESIGN.md §16; surfaced as SolverStats::solve_phase and by
+/// print_summary's solve line).
+struct SolvePhaseStats {
+  std::uint64_t solves = 0;            ///< NumericFactor solves issued
+  std::uint64_t plan_builds = 0;       ///< SolvePlan graphs actually built
+  std::uint64_t plan_reuses = 0;       ///< factorizations served by the cache
+  std::uint64_t tasks_executed = 0;    ///< solve-plan task bodies run
+  std::uint64_t parallel_solves = 0;   ///< solves drained as a DAG on the pool
+  std::uint64_t split_solves = 0;      ///< wide solves run as parallel column chunks
+  std::uint64_t sequential_solves = 0; ///< solves that took the two-sweep loop
+  std::uint64_t widen_hits = 0;        ///< fp32 widen-cache factor reuses
+  std::uint64_t widen_tiles = 0;       ///< tiles held by the current widen cache
+  std::size_t widen_bytes = 0;         ///< bytes held by the current widen cache
+  double trsm_seconds = 0;             ///< dispatch time in solve_trsm kernels
+  double gemm_seconds = 0;             ///< dispatch time in solve_gemm kernels
 };
 
 /// Aggregate measurements of one solver run — the quantities the paper's
@@ -195,6 +220,11 @@ struct SolverStats {
   /// Warm-start counters of the last successful numeric pass (all zero for
   /// cold factorizations or when SolverOptions::warm_start is off).
   WarmStartStats warm;
+
+  /// Solve-phase breakdown accumulated across every solve since analyze()
+  /// (DESIGN.md §16). The widen_* fields describe the *current* factors'
+  /// fp32 widen cache; the counters are cumulative.
+  SolvePhaseStats solve_phase;
 
   /// Buffer-pool counters accumulated since the last cold factorize():
   /// acquisitions served from recycled factor storage vs. fresh allocations

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "core/options.hpp"
 #include "ordering/ordering.hpp"
@@ -9,6 +10,8 @@
 #include "symbolic/symbolic.hpp"
 
 namespace blr::core {
+
+class SolvePlan;
 
 /// The immutable product of the analysis phase (DESIGN.md §15): ordering,
 /// supernode partition and block symbolic structure for one sparse pattern,
@@ -44,6 +47,21 @@ struct SymbolicPlan {
     return a.rows() == n && a.cols() == n && a.nnz() == nnz &&
            hash_pattern(a) == pattern_hash;
   }
+
+  /// The triangular-solve schedule over `sf` (DESIGN.md §16), built lazily
+  /// on first request and cached for the plan's lifetime — like the plan
+  /// itself, it is purely symbolic, so re-factorizations and session
+  /// snapshots over the same pattern all share one copy and repeated solves
+  /// pay zero graph-build cost. Thread-safe. `built`, when given, reports
+  /// whether this call did the build (false = cache hit).
+  [[nodiscard]] std::shared_ptr<const SolvePlan> solve_plan(
+      bool* built = nullptr) const;
+
+  // Lazy solve-plan cache (public only to keep the struct an aggregate for
+  // build()'s braced init — use solve_plan() above, never these directly).
+  mutable std::shared_ptr<const SolvePlan> solve_plan_cache_;
+  mutable std::unique_ptr<std::mutex> solve_plan_mu_ =
+      std::make_unique<std::mutex>();
 };
 
 } // namespace blr::core

@@ -310,9 +310,9 @@ TaskGraph TaskGraph::build(const symbolic::SymbolicFactor& sf, bool llt) {
 
 namespace {
 
-/// Shared state of one parallel DAG run; lives on execute()'s stack.
+/// Shared state of one parallel DAG run; lives on drain_deps()'s stack.
 struct ParRun {
-  const TaskGraph* g = nullptr;
+  const DepBuilder::Deps* deps = nullptr;
   ThreadPool* pool = nullptr;
   const std::function<bool(std::uint32_t)>* body = nullptr;
   const std::function<std::int64_t(std::uint32_t)>* priority = nullptr;
@@ -337,7 +337,8 @@ void par_run_task(ParRun* r, std::uint32_t id) {
     r->stopped.store(true, std::memory_order_release);
     return;
   }
-  const auto [s, e] = r->g->successors(id);
+  const std::uint32_t* s = r->deps->succ.data() + r->deps->succ_offset[id];
+  const std::uint32_t* e = r->deps->succ.data() + r->deps->succ_offset[id + 1];
   for (const std::uint32_t* p = s; p != e; ++p) {
     if (r->indeg[*p].fetch_sub(1, std::memory_order_acq_rel) == 1)
       par_release(r, *p);
@@ -357,18 +358,20 @@ void par_release(ParRun* r, std::uint32_t id) {
 
 } // namespace
 
-TaskGraph::RunStats TaskGraph::execute(
-    ThreadPool* pool, const std::function<bool(std::uint32_t)>& body,
-    const std::function<std::int64_t(std::uint32_t)>& priority) const {
-  const std::uint32_t n = num_tasks();
-  RunStats rs;
-  if (n == 0) return rs;
+DepDrainStats drain_deps(
+    const DepBuilder::Deps& deps, ThreadPool* pool,
+    const std::function<bool(std::uint32_t)>& body,
+    const std::function<std::int64_t(std::uint32_t)>& priority) {
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(deps.succ_offset.size()) - 1;
+  DepDrainStats rs;
+  if (deps.succ_offset.empty() || n == 0) return rs;
 
   if (pool == nullptr) {
     // Sequential: always run the lowest-id ready task. Task ids are the
-    // canonical sequence numbers, so this reproduces the barrier execution
-    // order exactly (see DESIGN.md §12 for the induction).
-    std::vector<std::int32_t> indeg(deps_.indeg);
+    // canonical sequence numbers, so this reproduces the declaration
+    // (barrier / two-sweep) execution order exactly (DESIGN.md §12).
+    std::vector<std::int32_t> indeg(deps.indeg);
     std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
                         std::greater<>> heap;
     for (std::uint32_t t = 0; t < n; ++t)
@@ -379,7 +382,8 @@ TaskGraph::RunStats TaskGraph::execute(
       heap.pop();
       ++rs.executed;
       if (!body(t)) break;
-      const auto [s, e] = successors(t);
+      const std::uint32_t* s = deps.succ.data() + deps.succ_offset[t];
+      const std::uint32_t* e = deps.succ.data() + deps.succ_offset[t + 1];
       for (const std::uint32_t* p = s; p != e; ++p)
         if (--indeg[*p] == 0) heap.push(*p);
       rs.ready_peak = std::max<std::uint64_t>(rs.ready_peak, heap.size());
@@ -388,19 +392,26 @@ TaskGraph::RunStats TaskGraph::execute(
   }
 
   ParRun run;
-  run.g = this;
+  run.deps = &deps;
   run.pool = pool;
   run.body = &body;
   run.priority = &priority;
   run.indeg.reset(new std::atomic<std::int32_t>[n]);
   for (std::uint32_t t = 0; t < n; ++t)
-    run.indeg[t].store(deps_.indeg[t], std::memory_order_relaxed);
+    run.indeg[t].store(deps.indeg[t], std::memory_order_relaxed);
   for (std::uint32_t t = 0; t < n; ++t)
-    if (deps_.indeg[t] == 0) par_release(&run, t);
+    if (deps.indeg[t] == 0) par_release(&run, t);
   pool->wait_idle();
   rs.executed = run.executed.load(std::memory_order_relaxed);
   rs.ready_peak = run.ready_peak.load(std::memory_order_relaxed);
   return rs;
+}
+
+TaskGraph::RunStats TaskGraph::execute(
+    ThreadPool* pool, const std::function<bool(std::uint32_t)>& body,
+    const std::function<std::int64_t(std::uint32_t)>& priority) const {
+  const DepDrainStats ds = drain_deps(deps_, pool, body, priority);
+  return {ds.executed, ds.ready_peak};
 }
 
 } // namespace blr::core

@@ -101,6 +101,26 @@ private:
   std::vector<std::pair<std::uint32_t, std::uint32_t>> extra_;
 };
 
+/// Result of one drain_deps() run.
+struct DepDrainStats {
+  std::uint64_t executed = 0;    ///< tasks whose body ran
+  std::uint64_t ready_peak = 0;  ///< max tasks released but not yet started
+};
+
+/// Drain any inferred dependency structure. `body(id)` runs one task and
+/// returns false to stop the drain cooperatively (its successors — and,
+/// transitively, everything they gate — are never released). With a pool,
+/// ready tasks are submitted with `priority(id)` and completed tasks release
+/// their successors from the worker; the drain blocks on pool->wait_idle(),
+/// so the pool must not be shared with another concurrent drain. Without a
+/// pool, the lowest-id ready task always runs next — exactly the canonical
+/// declaration (sequential) order. Shared by TaskGraph (factorization) and
+/// SolvePlan (triangular solve).
+DepDrainStats drain_deps(
+    const DepBuilder::Deps& deps, ThreadPool* pool,
+    const std::function<bool(std::uint32_t)>& body,
+    const std::function<std::int64_t(std::uint32_t)>& priority);
+
 /// Runtime-checked buffer hand-off between DAG tasks: one monotonically
 /// increasing epoch per tile address, mirroring the Tile state machine
 /// (Unassembled → Assembled → [Compressed] → Factored) at the scheduling
